@@ -1,0 +1,123 @@
+// Command msbench regenerates every table and figure from the paper's
+// evaluation section (Pallas & Ungar, PLDI 1988):
+//
+//	msbench -table2            Table 2: macro benchmarks × system states
+//	msbench -figure2           Figure 2: Table 2 normalized, with bars
+//	msbench -table3            Table 3: strategy applications
+//	msbench -ablation freelist     §3.2: free context list 160% → 65%
+//	msbench -ablation methodcache  §3.2: serialized cache "much too slow"
+//	msbench -ablation alloc        §4:   replicated allocation areas
+//	msbench -ablation scavenge     §3.1: k·s eden scaling, ~3% GC share
+//	msbench -all               everything above
+//
+// All times are virtual milliseconds on the simulated Firefly; runs are
+// deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mst/internal/bench"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "run the Table 2 matrix")
+	figure2 := flag.Bool("figure2", false, "run Table 2 and print it normalized (Figure 2)")
+	table3 := flag.Bool("table3", false, "print Table 3 (strategy applications)")
+	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge")
+	sweep := flag.Bool("sweep", false, "processor sweep (extension: busy overhead vs processor count)")
+	micro := flag.Bool("micro", false, "micro benchmark suite (extension: per-operation static costs)")
+	paradigms := flag.Bool("paradigms", false, "concurrent-programming style comparison (extension)")
+	contention := flag.Bool("contention", false, "per-state lock contention report (extension)")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	if !*table2 && !*figure2 && !*table3 && *ablation == "" && !*sweep && !*contention && !*micro && !*paradigms && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var t2 *bench.Table2
+	needT2 := *table2 || *figure2 || *all
+	if needT2 {
+		fmt.Fprintln(os.Stderr, "running the four system states × eight macro benchmarks...")
+		var err error
+		t2, err = bench.RunTable2()
+		check(err)
+	}
+	if *table2 || *all {
+		fmt.Println(t2.Format())
+	}
+	if *figure2 || *all {
+		fmt.Println(t2.FormatFigure2())
+	}
+	if *table3 || *all {
+		fmt.Println(bench.FormatTable3())
+	}
+
+	runAblation := func(name string) {
+		switch name {
+		case "freelist":
+			a, err := bench.RunFreeListAblation()
+			check(err)
+			fmt.Println(a.Format())
+		case "methodcache":
+			a, err := bench.RunMethodCacheAblation()
+			check(err)
+			fmt.Println(a.Format())
+		case "alloc":
+			a, err := bench.RunAllocAblation()
+			check(err)
+			fmt.Println(a.Format())
+		case "scavenge":
+			rows, err := bench.RunScavengeExperiment()
+			check(err)
+			fmt.Println(bench.FormatScavenge(rows))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *ablation != "" {
+		runAblation(*ablation)
+	}
+	if *all {
+		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge"} {
+			fmt.Fprintf(os.Stderr, "running ablation %s...\n", name)
+			runAblation(name)
+		}
+	}
+	if *sweep || *all {
+		fmt.Fprintln(os.Stderr, "running processor sweep...")
+		rows, err := bench.RunProcessorSweep()
+		check(err)
+		fmt.Println(bench.FormatSweep(rows))
+	}
+	if *micro || *all {
+		fmt.Fprintln(os.Stderr, "running micro suite...")
+		r, err := bench.RunMicroSuite()
+		check(err)
+		fmt.Println(r.Format())
+	}
+	if *paradigms || *all {
+		fmt.Fprintln(os.Stderr, "running paradigm comparison...")
+		r, err := bench.RunParadigms()
+		check(err)
+		fmt.Println(r.Format())
+	}
+	if *contention || *all {
+		fmt.Fprintln(os.Stderr, "running contention report...")
+		r, err := bench.RunContentionReport()
+		check(err)
+		fmt.Println(r.Format())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command msdis disassembles compiled methods: it boots the image,
+// files in any given source files, and prints the bytecode of the
+// requested methods (the engine behind the "decompile class" macro
+// benchmark).
+//
+//	msdis Object printString          # one method
+//	msdis -class Semaphore            # every method of a class
+//	msdis -class Semaphore app.st     # after filing in app.st
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mst"
+)
+
+func main() {
+	class := flag.String("class", "", "disassemble every method of this class")
+	flag.Parse()
+
+	cfg := mst.BaselineConfig()
+	sys, err := mst.NewSystem(cfg)
+	check(err)
+	defer sys.Shutdown()
+
+	var positional []string
+	for _, arg := range flag.Args() {
+		if strings.HasSuffix(arg, ".st") {
+			src, err := os.ReadFile(arg)
+			check(err)
+			check(sys.FileIn(arg, string(src)))
+			continue
+		}
+		positional = append(positional, arg)
+	}
+
+	switch {
+	case *class != "":
+		out, err := sys.Evaluate(fmt.Sprintf(`| ws |
+			ws := WriteStream on: (String new: 256).
+			(Smalltalk classNamed: '%s') methodsDo: [:m |
+				ws nextPutAll: m decompileString.
+				ws cr].
+			ws contents`, *class))
+		check(err)
+		fmt.Println(unquote(out))
+	case len(positional) == 2:
+		out, err := sys.Evaluate(fmt.Sprintf(
+			"((Smalltalk classNamed: '%s') compiledMethodAt: #%s) decompileString",
+			positional[0], positional[1]))
+		check(err)
+		fmt.Println(unquote(out))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: msdis [-class Name] [Class selector] [files.st...]")
+		os.Exit(2)
+	}
+}
+
+// unquote strips the Smalltalk printString quoting from a string result.
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		s = s[1 : len(s)-1]
+	}
+	return strings.ReplaceAll(s, "''", "'")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msdis:", err)
+		os.Exit(1)
+	}
+}

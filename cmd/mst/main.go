@@ -1,0 +1,101 @@
+// Command mst runs Multiprocessor Smalltalk: it boots the image on the
+// simulated Firefly, files in any source files given as arguments, and
+// evaluates an expression (or reads expressions from stdin, one per
+// line).
+//
+//	mst -e "3 + 4"
+//	mst -e "Transcript show: 'hi'" -transcript
+//	mst -procs 5 -busy 4 -e "MacroBenchmark..." app.st
+//	echo "Smalltalk allClasses size" | mst
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mst"
+)
+
+func main() {
+	expr := flag.String("e", "", "expression to evaluate")
+	procs := flag.Int("procs", 5, "virtual processors")
+	baseline := flag.Bool("baseline", false, "baseline BS mode (no multiprocessor support)")
+	idle := flag.Int("idle", 0, "background idle Processes to fork")
+	busy := flag.Int("busy", 0, "background busy Processes to fork")
+	transcript := flag.Bool("transcript", false, "print the Transcript after evaluation")
+	stats := flag.Bool("stats", false, "print system statistics after evaluation")
+	flag.Parse()
+
+	cfg := mst.DefaultConfig()
+	cfg.Processors = *procs
+	if *baseline {
+		cfg = mst.BaselineConfig()
+	}
+	sys, err := mst.NewSystem(cfg)
+	check(err)
+	defer sys.Shutdown()
+
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		check(err)
+		check(sys.FileIn(path, string(src)))
+	}
+	check(sys.SpawnIdleProcesses(*idle))
+	check(sys.SpawnBusyProcesses(*busy))
+
+	eval := func(src string) {
+		out, err := sys.Evaluate(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Println(out)
+	}
+
+	switch {
+	case *expr != "":
+		eval(*expr)
+	case len(flag.Args()) == 0 || stdinPiped():
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			eval(line)
+		}
+	}
+
+	if *transcript {
+		fmt.Print(sys.TranscriptText())
+	}
+	if *stats {
+		st := sys.Stats()
+		fmt.Fprintf(os.Stderr, "bytecodes=%d sends=%d cacheHits=%d cacheMisses=%d switches=%d\n",
+			st.Interp.Bytecodes, st.Interp.Sends, st.Interp.CacheHits,
+			st.Interp.CacheMisses, st.Interp.ProcessSwitches)
+		fmt.Fprintf(os.Stderr, "allocs=%d scavenges=%d copiedWords=%d virtualTime=%v\n",
+			st.Heap.Allocations, st.Heap.Scavenges, st.Heap.CopiedWords, sys.VirtualTime())
+		for _, l := range st.Locks {
+			if l.Acquisitions > 0 {
+				fmt.Fprintf(os.Stderr, "lock %-14s acq=%-8d contended=%-6d spin=%v\n",
+					l.Name, l.Acquisitions, l.Contentions, l.SpinTime)
+			}
+		}
+	}
+}
+
+func stdinPiped() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice == 0
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mst:", err)
+		os.Exit(1)
+	}
+}

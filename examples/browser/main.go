@@ -1,0 +1,66 @@
+// Browser: the programming-environment queries the paper's macro
+// benchmarks exercise, driven as a user would drive a Smalltalk-80
+// browser — class hierarchy, implementors, senders, definitions, and
+// method decompilation, all computed by Smalltalk code over the live
+// image's metaobjects.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mst"
+)
+
+func main() {
+	sys, err := mst.NewSystem(mst.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	show := func(title, expr string) {
+		out, err := sys.Evaluate(expr)
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		fmt.Printf("== %s ==\n%s\n\n", title, unquote(out))
+	}
+
+	show("class hierarchy below Collection", "Collection printHierarchy")
+	show("definition of Semaphore", "Semaphore definitionString")
+	show("implementors of printOn:", `| ws |
+		ws := WriteStream on: (String new: 64).
+		(Smalltalk allImplementorsOf: #printOn:) do: [:cls |
+			ws nextPutAll: cls name asString; space].
+		ws contents`)
+	show("senders of subclassResponsibility", `| ws |
+		ws := WriteStream on: (String new: 64).
+		(Smalltalk allCallsOn: #subclassResponsibility) do: [:m |
+			ws print: m; space].
+		ws contents`)
+	show("selectors of Semaphore by category", `| ws |
+		ws := WriteStream on: (String new: 64).
+		Semaphore categories do: [:cat |
+			ws nextPutAll: cat; nextPutAll: ': '.
+			(Semaphore selectorsInCategory: cat) do: [:sel |
+				ws print: sel; space].
+			ws cr].
+		ws contents`)
+	show("decompiled Semaphore>>critical:",
+		"(Semaphore compiledMethodAt: #critical:) decompileString")
+	show("inspector on 3 -> 'four'", `| ws |
+		ws := WriteStream on: (String new: 64).
+		(Inspector on: 3 -> 'four') fields do: [:assoc |
+			ws nextPutAll: assoc key; nextPutAll: ' = '.
+			ws nextPutAll: assoc value; cr].
+		ws contents`)
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") {
+		s = s[1 : len(s)-1]
+	}
+	return strings.ReplaceAll(s, "''", "'")
+}

@@ -1,0 +1,51 @@
+// Quickstart: boot Multiprocessor Smalltalk, evaluate expressions, use
+// the Transcript, and inspect the system's statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mst"
+)
+
+func main() {
+	// A five-processor MS system, like the Firefly the paper used.
+	sys, err := mst.NewSystem(mst.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	// Evaluate answers the result's printString, produced by the
+	// image's own printing code.
+	for _, expr := range []string{
+		"3 + 4 * 2",
+		"(1 to: 100) inject: 0 into: [:sum :each | sum + each]",
+		"'multiprocessor smalltalk' asUppercase",
+		"(1 to: 20) select: [:n | n isPrime]",
+		"Smalltalk allClasses size",
+		"Object subclass: 'Point' instanceVariableNames: 'x y' category: 'Demo'",
+		"Point compile: 'setX: ax y: ay x := ax. y := ay' classified: 'accessing'",
+		"Point compile: 'printOn: s s nextPutAll: ''(''. x printOn: s. s nextPutAll: '' @ ''. y printOn: s. s nextPutAll: '')''' classified: 'printing'",
+		"(Point new setX: 3 y: 4)",
+	} {
+		out, err := sys.Evaluate(expr)
+		if err != nil {
+			log.Fatalf("%s: %v", expr, err)
+		}
+		fmt.Printf("%-70s => %s\n", expr, out)
+	}
+
+	// The Transcript is the serialized display output queue.
+	if _, err := sys.Evaluate("Transcript show: 'hello from the image'; cr"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTranscript: %q\n", sys.TranscriptText())
+
+	st := sys.Stats()
+	fmt.Printf("\nexecuted %d bytecodes, %d sends (%.1f%% cache hits), %d scavenges, virtual time %v\n",
+		st.Interp.Bytecodes, st.Interp.Sends,
+		100*float64(st.Interp.CacheHits)/float64(st.Interp.CacheHits+st.Interp.CacheMisses),
+		st.Heap.Scavenges, sys.VirtualTime())
+}

@@ -1,0 +1,3 @@
+module mst
+
+go 1.22

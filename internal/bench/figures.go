@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// shortNames abbreviates benchmark names for table headers, mirroring
+// the paper's two-line column headers.
+var shortNames = []string{
+	"r/w class org", "print def", "print hier", "find calls",
+	"find impl", "inspector", "compile", "decompile",
+}
+
+// Format renders the measured Table 2 in the paper's orientation:
+// states as rows, benchmarks as columns, times in virtual milliseconds.
+func (t *Table2) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Preliminary performance results (reproduction)\n")
+	b.WriteString("All times in virtual milliseconds on the simulated Firefly.\n\n")
+	fmt.Fprintf(&b, "%-34s", "State")
+	for _, n := range shortNames {
+		fmt.Fprintf(&b, "%14s", n)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 34+14*len(shortNames)))
+	b.WriteString("\n")
+	for i, st := range t.States {
+		fmt.Fprintf(&b, "%-34s", st.Paper)
+		for _, v := range t.Ms[i] {
+			fmt.Fprintf(&b, "%14d", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFigure2 renders Figure 2: per-benchmark times normalized to the
+// baseline system, as numbers and ASCII bars.
+func (t *Table2) FormatFigure2() string {
+	norm := t.Normalized()
+	var b strings.Builder
+	b.WriteString("Figure 2: Preliminary overhead measurements — normalized\n")
+	b.WriteString("(each benchmark's time divided by the baseline BS time)\n\n")
+	for j, bench := range t.Benches {
+		fmt.Fprintf(&b, "%s\n", bench)
+		for i, st := range t.States {
+			v := norm[i][j]
+			bar := strings.Repeat("#", int(v*24+0.5))
+			fmt.Fprintf(&b, "  %-14s %5.2f  %s\n", st.Name, v, bar)
+		}
+		b.WriteString("\n")
+	}
+	ov := t.Overheads()
+	b.WriteString("Overheads versus baseline (paper §4 claims in brackets):\n")
+	if o, ok := ov["ms"]; ok {
+		fmt.Fprintf(&b, "  MS static overhead:       worst %4.0f%%  avg %4.0f%%   [paper: <15%% worst]\n",
+			o.Worst*100, o.Avg*100)
+	}
+	if o, ok := ov["ms-idle"]; ok {
+		fmt.Fprintf(&b, "  four idle Processes:      worst %4.0f%%  avg %4.0f%%   [paper: ≤ +30%% over MS]\n",
+			o.Worst*100, o.Avg*100)
+	}
+	if o, ok := ov["ms-busy"]; ok {
+		fmt.Fprintf(&b, "  four busy Processes:      worst %4.0f%%  avg %4.0f%%   [paper: 65%% worst, ~40%% avg]\n",
+			o.Worst*100, o.Avg*100)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3 — the strategy/application matrix — with
+// pointers to the modules and the ablation that measures each row.
+func FormatTable3() string {
+	return `Table 3: Applications of the three strategies (reproduction)
+
+Serialization                 Replication                  Reorganization
+-----------------------------------------------------------------------------
+allocation                    interpretation               active process
+  (heap: alloc lock;            (interp: one Interp per      (interp/sched:
+   ablation: -ablation alloc)    virtual processor)           thisProcess and
+garbage collection            method caches                  canRun: primitives;
+  (heap: stop-the-world         (interp: per-processor        running Processes
+   scavenger;                    caches; ablation:            stay on the ready
+   -ablation scavenge)           -ablation methodcache)       queue)
+entry tables                  free contexts
+  (heap: entry-table lock       (interp: per-processor
+   on store checks)              free lists; ablation:
+scheduling                       -ablation freelist)
+  (interp: single ready
+   queue under one lock)
+I/O queues
+  (display: output queue,
+   input sensor locks)
+`
+}

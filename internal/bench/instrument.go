@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mst/internal/core"
+	"mst/internal/firefly"
+)
+
+// The paper's §6 plans "to add sufficient instrumentation to MS to
+// gather data about how different concurrent programming paradigms
+// affect memory reference patterns and contention for resources, and
+// how architectural constraints... influence the system." The simulator
+// records all of this; these reports expose it.
+
+// SweepRow is one processor-count measurement.
+type SweepRow struct {
+	Processors int
+	ElapsedMS  int64
+	Normalized float64 // vs the 1-processor MS run
+}
+
+// RunProcessorSweep measures how the busy-competition overhead grows
+// with the processor count: MS with k processors and k-1 busy
+// Processes, k = 1..5, on one representative benchmark. This probes the
+// architectural question (shared-bus pressure and lock contention as
+// processors are added) the paper defers to future work.
+func RunProcessorSweep() ([]SweepRow, error) {
+	var rows []SweepRow
+	var base int64
+	for k := 1; k <= 5; k++ {
+		k := k
+		cfg := core.DefaultConfig()
+		cfg.Processors = k
+		st := State{
+			Name:   fmt.Sprintf("ms-%dproc", k),
+			Config: func() core.Config { return cfg },
+			Background: func(s *core.System) error {
+				return s.SpawnBusyProcesses(k - 1)
+			},
+		}
+		sys, err := NewBenchSystem(st)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := RunMacro(sys, "printClassHierarchy")
+		sys.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		if k == 1 {
+			base = ms
+		}
+		rows = append(rows, SweepRow{
+			Processors: k,
+			ElapsedMS:  ms,
+			Normalized: float64(ms) / float64(base),
+		})
+	}
+	return rows, nil
+}
+
+// FormatSweep renders the processor sweep.
+func FormatSweep(rows []SweepRow) string {
+	var b strings.Builder
+	b.WriteString("Processor sweep (extension; paper §6 future work):\n")
+	b.WriteString("MS with k processors, k-1 busy Processes, one measured benchmark\n\n")
+	fmt.Fprintf(&b, "%6s %12s %12s\n", "procs", "elapsed", "normalized")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %10dms %12.2f\n", r.Processors, r.ElapsedMS, r.Normalized)
+	}
+	return b.String()
+}
+
+// ContentionReport is the per-state lock-contention table.
+type ContentionReport struct {
+	States []string
+	Locks  []string
+	// Contentions[state][lock], Spin[state][lock] in virtual time.
+	Acquisitions [][]uint64
+	Contentions  [][]uint64
+	Spin         [][]firefly.Time
+}
+
+// RunContentionReport runs one benchmark under each standard state and
+// collects every lock's acquisition/contention/spin statistics — the
+// resource-contention instrumentation the paper planned.
+func RunContentionReport() (*ContentionReport, error) {
+	r := &ContentionReport{}
+	for _, st := range StandardStates() {
+		sys, err := NewBenchSystem(st)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := RunMacro(sys, "readWriteClassOrganization"); err != nil {
+			sys.Shutdown()
+			return nil, err
+		}
+		stats := sys.Stats()
+		sys.Shutdown()
+		if r.Locks == nil {
+			for _, l := range stats.Locks {
+				r.Locks = append(r.Locks, l.Name)
+			}
+		}
+		r.States = append(r.States, st.Name)
+		var acq, cont []uint64
+		var spin []firefly.Time
+		for _, l := range stats.Locks {
+			acq = append(acq, l.Acquisitions)
+			cont = append(cont, l.Contentions)
+			spin = append(spin, l.SpinTime)
+		}
+		r.Acquisitions = append(r.Acquisitions, acq)
+		r.Contentions = append(r.Contentions, cont)
+		r.Spin = append(r.Spin, spin)
+	}
+	return r, nil
+}
+
+// Format renders the contention report.
+func (r *ContentionReport) Format() string {
+	var b strings.Builder
+	b.WriteString("Lock contention by system state (extension; paper §6 instrumentation):\n")
+	b.WriteString("acquisitions / contended attempts / spin time, per lock\n\n")
+	fmt.Fprintf(&b, "%-14s", "lock")
+	for _, s := range r.States {
+		fmt.Fprintf(&b, "%28s", s)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 14+28*len(r.States)))
+	b.WriteString("\n")
+	for li, lock := range r.Locks {
+		fmt.Fprintf(&b, "%-14s", lock)
+		for si := range r.States {
+			cell := fmt.Sprintf("%d/%d/%s",
+				r.Acquisitions[si][li], r.Contentions[si][li], r.Spin[si][li])
+			fmt.Fprintf(&b, "%28s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

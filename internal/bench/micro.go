@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mst/internal/core"
+)
+
+// microSource defines analogues of the McCall *micro* benchmarks (the
+// other half of the standard Smalltalk-80 benchmark suite; the paper
+// uses only the macros, so these are an extension for calibrating the
+// interpreter's primitive operations).
+const microSource = `
+Object subclass: #MicroBenchmark
+	instanceVariableNames: 'ivar'
+	category: 'Benchmarks'!
+
+!MicroBenchmark methodsFor: 'running'!
+run: aSymbol
+	| t0 |
+	t0 := self millisecondClockValue.
+	self perform: aSymbol.
+	^self millisecondClockValue - t0! !
+
+!MicroBenchmark methodsFor: 'micro'!
+testAdd
+	| s |
+	s := 0.
+	1 to: 30000 do: [:i | s := s + 1]!
+testLoadInstVar
+	| s |
+	ivar := 17.
+	s := 0.
+	1 to: 30000 do: [:i | s := ivar]!
+testSend
+	1 to: 15000 do: [:i | self probe]!
+probe
+	^nil!
+testWhileLoop
+	| i |
+	i := 0.
+	[i < 30000] whileTrue: [i := i + 1]!
+testArrayAt
+	| a s |
+	a := Array new: 100.
+	1 to: 100 do: [:i | a at: i put: i].
+	s := 0.
+	1 to: 300 do: [:k | 1 to: 100 do: [:i | s := s + (a at: i)]]!
+testArrayAtPut
+	| a |
+	a := Array new: 100.
+	1 to: 300 do: [:k | 1 to: 100 do: [:i | a at: i put: i]]!
+testStringReplace
+	| a b |
+	a := String new: 200.
+	b := String new: 200.
+	1 to: 200 do: [:i | b at: i put: $x].
+	1 to: 500 do: [:k |
+		a replaceFrom: 1 to: 200 with: b startingAt: 1]!
+testDictionaryAtPut
+	| d |
+	d := Dictionary new.
+	1 to: 60 do: [:i | d at: i put: i].
+	1 to: 100 do: [:k | 1 to: 60 do: [:i | d at: i put: i + k]]!
+testCreation
+	1 to: 8000 do: [:i | Array new: 8]!
+testBlockValue
+	| b s |
+	b := [:x | x + 1].
+	s := 0.
+	1 to: 10000 do: [:i | s := b value: s]!
+testHanoi
+	self hanoi: 12 from: 1 to: 3 via: 2!
+hanoi: n from: a to: c via: b
+	n = 0 ifTrue: [^self].
+	self hanoi: n - 1 from: a to: b via: c.
+	self hanoi: n - 1 from: b to: c via: a!
+testStringCompare
+	| a b s |
+	a := 'the quick brown fox jumps over the lazy dog'.
+	b := 'the quick brown fox jumps over the lazy dot'.
+	s := 0.
+	1 to: 2000 do: [:i | (a < b) ifTrue: [s := s + 1]]! !
+`
+
+// MicroBenchmarks lists the micro suite in display order.
+var MicroBenchmarks = []string{
+	"testAdd", "testLoadInstVar", "testSend", "testWhileLoop",
+	"testArrayAt", "testArrayAtPut", "testStringReplace",
+	"testDictionaryAtPut", "testCreation", "testBlockValue",
+	"testHanoi", "testStringCompare",
+}
+
+// MicroResult is the micro suite's times under baseline BS and MS, in
+// virtual milliseconds.
+type MicroResult struct {
+	Names    []string
+	Baseline []int64
+	MS       []int64
+}
+
+// RunMicroSuite measures every micro benchmark under baseline BS and
+// uniprocessor-competition-free MS, exposing the static cost of the
+// multiprocessor support per operation class.
+func RunMicroSuite() (*MicroResult, error) {
+	r := &MicroResult{Names: MicroBenchmarks}
+	for i, cfgFn := range []func() core.Config{core.BaselineConfig, core.DefaultConfig} {
+		cfg := cfgFn()
+		cfg.ExtraSources = append(cfg.ExtraSources, microSource)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range MicroBenchmarks {
+			ms, err := sys.EvaluateInt(fmt.Sprintf("MicroBenchmark new run: #%s", name))
+			if err != nil {
+				sys.Shutdown()
+				return nil, fmt.Errorf("bench: micro %s: %w", name, err)
+			}
+			if i == 0 {
+				r.Baseline = append(r.Baseline, ms)
+			} else {
+				r.MS = append(r.MS, ms)
+			}
+		}
+		sys.Shutdown()
+	}
+	return r, nil
+}
+
+// Format renders the micro suite comparison.
+func (r *MicroResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Micro benchmarks (extension: the McCall suite's other half):\n")
+	b.WriteString("per-operation-class static cost of the multiprocessor support\n\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %10s\n", "benchmark", "baseline", "MS", "overhead")
+	for i, name := range r.Names {
+		over := float64(r.MS[i])/float64(r.Baseline[i]) - 1
+		fmt.Fprintf(&b, "%-22s %10dms %10dms %9.0f%%\n",
+			name, r.Baseline[i], r.MS[i], over*100)
+	}
+	return b.String()
+}

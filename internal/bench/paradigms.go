@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mst/internal/core"
+)
+
+// The paper's §6: "we expect to report on our experiences in using
+// parallelism in MS, perhaps including some comparisons of various
+// concurrent programming approaches." This experiment realizes that
+// plan: the same producer/consumer pipeline written in two styles —
+// shared state under a mutual-exclusion Semaphore versus message
+// passing through SharedQueues — run on the five-processor machine and
+// compared on elapsed virtual time and resource contention.
+
+const paradigmsSource = `
+"Two implementations of the same job: P producers each push N work items
+ (an integer to factor-count) to C consumers; the result is the total
+ count of prime factors. Style A shares an OrderedCollection guarded by
+ one mutual-exclusion Semaphore; style B connects the Processes with a
+ SharedQueue."!
+
+Object subclass: #ParadigmJob
+	instanceVariableNames: ''
+	category: 'Benchmarks'!
+
+!ParadigmJob methodsFor: 'work'!
+factorCount: n
+	"The per-item computation: number of prime factors of n."
+	| count m d |
+	count := 0.
+	m := n.
+	d := 2.
+	[d * d <= m] whileTrue: [
+		[m \\ d = 0] whileTrue: [count := count + 1. m := m // d].
+		d := d + 1].
+	m > 1 ifTrue: [count := count + 1].
+	^count! !
+
+!ParadigmJob methodsFor: 'shared state'!
+runShared: items
+	"Producers append to a shared buffer under a mutex; consumers poll
+	 it under the same mutex. Two producers, two consumers."
+	| buffer mutex done totals t0 |
+	buffer := OrderedCollection new.
+	mutex := Semaphore forMutualExclusion.
+	done := Semaphore new.
+	"One accumulator slot per consumer: Processes must not share an
+	 unprotected counter."
+	totals := Array with: 0 with: 0.
+	t0 := self millisecondClockValue.
+	[self produceShared: items into: buffer mutex: mutex. done signal] fork.
+	[self produceShared: items into: buffer mutex: mutex. done signal] fork.
+	[self consumeShared: items from: buffer mutex: mutex into: totals at: 1. done signal] fork.
+	[self consumeShared: items from: buffer mutex: mutex into: totals at: 2. done signal] fork.
+	done wait. done wait. done wait. done wait.
+	^Array with: (totals at: 1) + (totals at: 2) with: self millisecondClockValue - t0!
+produceShared: n into: buffer mutex: mutex
+	1 to: n do: [:i |
+		mutex critical: [buffer add: i + 100].
+		Processor yield]!
+consumeShared: n from: buffer mutex: mutex into: totals at: slot
+	| got item |
+	got := 0.
+	[got < n] whileTrue: [
+		item := mutex critical: [
+			buffer isEmpty ifTrue: [nil] ifFalse: [buffer removeFirst]].
+		item isNil
+			ifTrue: [Processor yield]
+			ifFalse: [
+				totals at: slot put: (totals at: slot) + (self factorCount: item).
+				got := got + 1]]! !
+
+!ParadigmJob methodsFor: 'message passing'!
+runQueued: items
+	"The same job connected by a SharedQueue: consumers block instead
+	 of polling."
+	| q done totals t0 |
+	q := SharedQueue new.
+	done := Semaphore new.
+	totals := Array with: 0 with: 0.
+	t0 := self millisecondClockValue.
+	[self produceQueued: items into: q. done signal] fork.
+	[self produceQueued: items into: q. done signal] fork.
+	[self consumeQueued: items from: q into: totals at: 1. done signal] fork.
+	[self consumeQueued: items from: q into: totals at: 2. done signal] fork.
+	done wait. done wait. done wait. done wait.
+	^Array with: (totals at: 1) + (totals at: 2) with: self millisecondClockValue - t0!
+produceQueued: n into: q
+	1 to: n do: [:i | q nextPut: i + 100]!
+consumeQueued: n from: q into: totals at: slot
+	1 to: n do: [:i |
+		totals at: slot put: (totals at: slot) + (self factorCount: q next)]! !
+`
+
+// ParadigmResult compares the two styles.
+type ParadigmResult struct {
+	Items            int
+	SharedTotal      int64
+	SharedMS         int64
+	SharedSchedOps   uint64 // scheduler-lock acquisitions
+	QueuedTotal      int64
+	QueuedMS         int64
+	QueuedSchedOps   uint64
+	SharedSemSignals uint64
+	QueuedSemSignals uint64
+}
+
+// RunParadigms runs both implementations on fresh five-processor
+// systems and reports times plus scheduling pressure.
+func RunParadigms() (*ParadigmResult, error) {
+	const items = 150
+	res := &ParadigmResult{Items: items}
+	run := func(selector string) (total, ms int64, sched, signals uint64, err error) {
+		cfg := core.DefaultConfig()
+		cfg.ExtraSources = append(cfg.ExtraSources, paradigmsSource)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer sys.Shutdown()
+		out, err := sys.Evaluate(fmt.Sprintf("ParadigmJob new %s: %d", selector, items))
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if _, err := fmt.Sscanf(out, "(%d %d )", &total, &ms); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("bench: paradigm result %q: %w", out, err)
+		}
+		st := sys.Stats()
+		for _, l := range st.Locks {
+			if l.Name == "scheduler" {
+				sched = l.Acquisitions
+			}
+		}
+		return total, ms, sched, st.Interp.SemSignals, nil
+	}
+	var err error
+	if res.SharedTotal, res.SharedMS, res.SharedSchedOps, res.SharedSemSignals, err = run("runShared"); err != nil {
+		return nil, err
+	}
+	if res.QueuedTotal, res.QueuedMS, res.QueuedSchedOps, res.QueuedSemSignals, err = run("runQueued"); err != nil {
+		return nil, err
+	}
+	if res.SharedTotal != res.QueuedTotal {
+		return nil, fmt.Errorf("bench: paradigm results disagree: %d vs %d",
+			res.SharedTotal, res.QueuedTotal)
+	}
+	return res, nil
+}
+
+// Format renders the comparison.
+func (r *ParadigmResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Concurrent-programming paradigms (extension; paper §6 future work):\n")
+	fmt.Fprintf(&b, "2 producers + 2 consumers, %d items each, 5 processors; both styles\n", r.Items)
+	fmt.Fprintf(&b, "compute the same answer (%d)\n\n", r.SharedTotal)
+	fmt.Fprintf(&b, "%-34s %10s %14s %14s\n", "style", "elapsed", "sched-lock acq", "sem signals")
+	fmt.Fprintf(&b, "%-34s %8dms %14d %14d\n",
+		"shared buffer + mutex (polling)", r.SharedMS, r.SharedSchedOps, r.SharedSemSignals)
+	fmt.Fprintf(&b, "%-34s %8dms %14d %14d\n",
+		"SharedQueue (blocking)", r.QueuedMS, r.QueuedSchedOps, r.QueuedSemSignals)
+	return b.String()
+}

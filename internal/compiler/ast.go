@@ -1,0 +1,112 @@
+package compiler
+
+// Node is any AST node.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// MethodNode is a parsed method: selector pattern, temporaries, optional
+// primitive pragma, and body statements.
+type MethodNode struct {
+	pos
+	Selector  string
+	Params    []string
+	Temps     []string
+	Primitive int // 0 = none
+	Body      []Stmt
+}
+
+// Stmt is a statement: an expression or a return.
+type Stmt interface{ Node }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// ReturnStmt is ^expr.
+type ReturnStmt struct {
+	pos
+	X Expr
+}
+
+// Expr is an expression node.
+type Expr interface{ Node }
+
+// VarNode is a variable reference (including self, super, true, false,
+// nil, thisContext, which the code generator special-cases).
+type VarNode struct {
+	pos
+	Name string
+}
+
+// AssignNode is name := value.
+type AssignNode struct {
+	pos
+	Name  string
+	Value Expr
+}
+
+// LitKind classifies literal nodes.
+type LitKind int
+
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitChar
+	LitString
+	LitSymbol
+	LitArray
+	LitTrue
+	LitFalse
+	LitNil
+)
+
+// LiteralNode is a literal constant.
+type LiteralNode struct {
+	pos
+	Kind LitKind
+	Int  int64
+	Flt  float64
+	Str  string        // string/symbol text
+	Rune rune          // character
+	Arr  []LiteralNode // array elements
+}
+
+// SendNode is a message send.
+type SendNode struct {
+	pos
+	Receiver Expr // nil means the receiver is `super` handled via Super
+	Super    bool
+	Selector string
+	Args     []Expr
+}
+
+// CascadeMsg is one `; selector args` in a cascade.
+type CascadeMsg struct {
+	pos
+	Selector string
+	Args     []Expr
+}
+
+// CascadeNode sends several messages to one receiver; its value is the
+// value of the last message.
+type CascadeNode struct {
+	pos
+	Receiver Expr
+	Super    bool
+	Msgs     []CascadeMsg
+}
+
+// BlockNode is [:a :b | temps | statements].
+type BlockNode struct {
+	pos
+	Params []string
+	Temps  []string
+	Body   []Stmt
+}

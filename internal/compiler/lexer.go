@@ -1,0 +1,480 @@
+// Package compiler implements the Multiprocessor Smalltalk compiler:
+// lexer, recursive-descent parser, and bytecode generator for the
+// Smalltalk-80 language subset used by the image. The compiler is pure —
+// it produces a Method description whose literals are Go values; the
+// image layer materializes them as heap objects and installs the method
+// in a class's method dictionary.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword // trailing colon, e.g. "at:"
+	TokBinary  // binary selector, e.g. "+", "<="
+	TokInt
+	TokFloat
+	TokChar
+	TokString
+	TokSymbol     // #foo, #at:put:, #+, #'quoted'
+	TokArrayStart // #(
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokDot
+	TokSemi
+	TokCaret
+	TokAssign   // :=
+	TokPipe     // |
+	TokBlockArg // :name
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Rune rune
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a compilation error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+const binaryChars = "+-*/~<>=&|@%,?!\\"
+
+func isBinaryChar(r rune) bool { return strings.ContainsRune(binaryChars, r) }
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// Lexer tokenizes Smalltalk source.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+	prev TokKind // previous significant token, for negative-number context
+
+	// arrayDepth tracks literal-array nesting: inside #( ... ) a minus
+	// adjacent to digits is always a negative literal (Smalltalk-80
+	// literal arrays hold no expressions).
+	arrayDepth int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) errf(format string, args ...interface{}) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(n int) rune {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipBlanks consumes whitespace and comments ("..." with doubled quotes).
+func (l *Lexer) skipBlanks() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsSpace(r) {
+			l.advance()
+			continue
+		}
+		if r == '"' {
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated comment")
+				}
+				if l.advance() == '"' {
+					if l.peek() == '"' {
+						l.advance() // doubled quote inside comment
+						continue
+					}
+					break
+				}
+			}
+			continue
+		}
+		break
+	}
+	return nil
+}
+
+// operandEnd reports whether the previous token could end an operand, in
+// which case a following "-digit" is a binary minus, not a negative
+// literal.
+func operandEnd(k TokKind) bool {
+	switch k {
+	case TokIdent, TokInt, TokFloat, TokChar, TokString, TokSymbol,
+		TokRParen, TokRBracket:
+		return true
+	}
+	return false
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	t, err := l.next()
+	if err == nil {
+		l.prev = t.Kind
+	}
+	return t, err
+}
+
+func (l *Lexer) next() (Token, error) {
+	if err := l.skipBlanks(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		if l.peek() == ':' && l.peekAt(1) != '=' {
+			l.advance()
+			tok.Kind = TokKeyword
+			tok.Text = text + ":"
+			return tok, nil
+		}
+		tok.Kind = TokIdent
+		tok.Text = text
+		return tok, nil
+
+	case unicode.IsDigit(r):
+		return l.lexNumber(tok, false)
+
+	case r == '-' && unicode.IsDigit(l.peekAt(1)) && (l.arrayDepth > 0 || !operandEnd(l.prev)):
+		l.advance()
+		return l.lexNumber(tok, true)
+
+	case r == '$':
+		l.advance()
+		if l.pos >= len(l.src) {
+			return tok, l.errf("character literal at end of input")
+		}
+		tok.Kind = TokChar
+		tok.Rune = l.advance()
+		tok.Text = "$" + string(tok.Rune)
+		return tok, nil
+
+	case r == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, l.errf("unterminated string")
+			}
+			c := l.advance()
+			if c == '\'' {
+				if l.peek() == '\'' {
+					l.advance()
+					b.WriteRune('\'')
+					continue
+				}
+				break
+			}
+			b.WriteRune(c)
+		}
+		tok.Kind = TokString
+		tok.Text = b.String()
+		return tok, nil
+
+	case r == '#':
+		l.advance()
+		switch {
+		case l.peek() == '(':
+			l.advance()
+			tok.Kind = TokArrayStart
+			tok.Text = "#("
+			return tok, nil
+		case l.peek() == '\'':
+			l.advance()
+			var b strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return tok, l.errf("unterminated symbol")
+				}
+				c := l.advance()
+				if c == '\'' {
+					if l.peek() == '\'' {
+						l.advance()
+						b.WriteRune('\'')
+						continue
+					}
+					break
+				}
+				b.WriteRune(c)
+			}
+			tok.Kind = TokSymbol
+			tok.Text = b.String()
+			return tok, nil
+		case isIdentStart(l.peek()):
+			var b strings.Builder
+			for {
+				start := l.pos
+				for l.pos < len(l.src) && isIdentPart(l.peek()) {
+					l.advance()
+				}
+				b.WriteString(string(l.src[start:l.pos]))
+				if l.peek() == ':' {
+					l.advance()
+					b.WriteByte(':')
+					if isIdentStart(l.peek()) {
+						continue // multi-keyword symbol
+					}
+				}
+				break
+			}
+			tok.Kind = TokSymbol
+			tok.Text = b.String()
+			return tok, nil
+		case isBinaryChar(l.peek()):
+			var b strings.Builder
+			for l.pos < len(l.src) && isBinaryChar(l.peek()) {
+				b.WriteRune(l.advance())
+			}
+			tok.Kind = TokSymbol
+			tok.Text = b.String()
+			return tok, nil
+		default:
+			return tok, l.errf("malformed symbol after #")
+		}
+
+	case r == '(':
+		l.advance()
+		tok.Kind = TokLParen
+		tok.Text = "("
+		return tok, nil
+	case r == ')':
+		l.advance()
+		tok.Kind = TokRParen
+		tok.Text = ")"
+		return tok, nil
+	case r == '[':
+		l.advance()
+		tok.Kind = TokLBracket
+		tok.Text = "["
+		return tok, nil
+	case r == ']':
+		l.advance()
+		tok.Kind = TokRBracket
+		tok.Text = "]"
+		return tok, nil
+	case r == '.':
+		l.advance()
+		tok.Kind = TokDot
+		tok.Text = "."
+		return tok, nil
+	case r == ';':
+		l.advance()
+		tok.Kind = TokSemi
+		tok.Text = ";"
+		return tok, nil
+	case r == '^':
+		l.advance()
+		tok.Kind = TokCaret
+		tok.Text = "^"
+		return tok, nil
+	case r == ':':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = TokAssign
+			tok.Text = ":="
+			return tok, nil
+		}
+		if isIdentStart(l.peek()) {
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.peek()) {
+				l.advance()
+			}
+			tok.Kind = TokBlockArg
+			tok.Text = string(l.src[start:l.pos])
+			return tok, nil
+		}
+		return tok, l.errf("unexpected ':'")
+
+	case isBinaryChar(r):
+		var b strings.Builder
+		for l.pos < len(l.src) && isBinaryChar(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		text := b.String()
+		if text == "|" {
+			tok.Kind = TokPipe
+			tok.Text = "|"
+			return tok, nil
+		}
+		tok.Kind = TokBinary
+		tok.Text = text
+		return tok, nil
+
+	default:
+		return tok, l.errf("unexpected character %q", r)
+	}
+}
+
+// lexNumber scans an integer or float, with optional radix (16rFF) and
+// exponent (1.5e3). neg applies a leading minus already consumed.
+func (l *Lexer) lexNumber(tok Token, neg bool) (Token, error) {
+	digits := func(valid func(rune) bool) string {
+		start := l.pos
+		for l.pos < len(l.src) && valid(l.peek()) {
+			l.advance()
+		}
+		return string(l.src[start:l.pos])
+	}
+	intPart := digits(unicode.IsDigit)
+
+	// Radix integer: 16rFF, 2r1010.
+	if l.peek() == 'r' {
+		var radix int64
+		for _, c := range intPart {
+			radix = radix*10 + int64(c-'0')
+		}
+		if radix < 2 || radix > 36 {
+			return tok, l.errf("bad radix %s", intPart)
+		}
+		l.advance()
+		start := l.pos
+		var v int64
+		for l.pos < len(l.src) {
+			c := l.peek()
+			var d int64 = -1
+			switch {
+			case unicode.IsDigit(c):
+				d = int64(c - '0')
+			case c >= 'A' && c <= 'Z':
+				d = int64(c-'A') + 10
+			}
+			if d < 0 || d >= radix {
+				break
+			}
+			v = v*radix + d
+			l.advance()
+		}
+		if l.pos == start {
+			return tok, l.errf("missing digits after radix")
+		}
+		if neg {
+			v = -v
+		}
+		tok.Kind = TokInt
+		tok.Int = v
+		tok.Text = fmt.Sprintf("%d", v)
+		return tok, nil
+	}
+
+	isFloat := false
+	fracPart := ""
+	if l.peek() == '.' && unicode.IsDigit(l.peekAt(1)) {
+		l.advance()
+		isFloat = true
+		fracPart = digits(unicode.IsDigit)
+	}
+	expPart := ""
+	if l.peek() == 'e' && (unicode.IsDigit(l.peekAt(1)) ||
+		(l.peekAt(1) == '-' && unicode.IsDigit(l.peekAt(2)))) {
+		l.advance()
+		isFloat = true
+		if l.peek() == '-' {
+			l.advance()
+			expPart = "-"
+		}
+		expPart += digits(unicode.IsDigit)
+	}
+
+	if isFloat {
+		var f float64
+		text := intPart
+		if fracPart != "" {
+			text += "." + fracPart
+		}
+		if expPart != "" {
+			text += "e" + expPart
+		}
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return tok, l.errf("bad float %q", text)
+		}
+		if neg {
+			f = -f
+		}
+		tok.Kind = TokFloat
+		tok.Flt = f
+		tok.Text = text
+		return tok, nil
+	}
+
+	var v int64
+	for _, c := range intPart {
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	tok.Kind = TokInt
+	tok.Int = v
+	tok.Text = fmt.Sprintf("%d", v)
+	return tok, nil
+}

@@ -1,0 +1,237 @@
+package compiler
+
+import (
+	"testing"
+)
+
+func parseM(t *testing.T, src string) *MethodNode {
+	t.Helper()
+	m, err := ParseMethod(src)
+	if err != nil {
+		t.Fatalf("ParseMethod(%q): %v", src, err)
+	}
+	return m
+}
+
+func TestParseUnaryPattern(t *testing.T) {
+	m := parseM(t, "size ^0")
+	if m.Selector != "size" || len(m.Params) != 0 {
+		t.Fatalf("m = %+v", m)
+	}
+	if len(m.Body) != 1 {
+		t.Fatalf("body = %v", m.Body)
+	}
+	if _, ok := m.Body[0].(*ReturnStmt); !ok {
+		t.Fatal("body not a return")
+	}
+}
+
+func TestParseBinaryPattern(t *testing.T) {
+	m := parseM(t, "+ aNumber ^aNumber")
+	if m.Selector != "+" || len(m.Params) != 1 || m.Params[0] != "aNumber" {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestParseKeywordPattern(t *testing.T) {
+	m := parseM(t, "at: key put: value ^value")
+	if m.Selector != "at:put:" || len(m.Params) != 2 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestParseTempsAndPragma(t *testing.T) {
+	m := parseM(t, "foo | a b c | <primitive: 60> ^a")
+	if len(m.Temps) != 3 || m.Primitive != 60 {
+		t.Fatalf("temps = %v prim = %d", m.Temps, m.Primitive)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// unary > binary > keyword: `a foo + b bar at: c baz`
+	m := parseM(t, "test ^a foo + b bar at: c baz")
+	ret := m.Body[0].(*ReturnStmt)
+	kw := ret.X.(*SendNode)
+	if kw.Selector != "at:" {
+		t.Fatalf("outer = %q", kw.Selector)
+	}
+	bin := kw.Receiver.(*SendNode)
+	if bin.Selector != "+" {
+		t.Fatalf("mid = %q", bin.Selector)
+	}
+	lhs := bin.Receiver.(*SendNode)
+	if lhs.Selector != "foo" {
+		t.Fatalf("lhs = %q", lhs.Selector)
+	}
+	arg := kw.Args[0].(*SendNode)
+	if arg.Selector != "baz" {
+		t.Fatalf("kwarg = %q", arg.Selector)
+	}
+}
+
+func TestParseBinaryLeftAssociative(t *testing.T) {
+	m := parseM(t, "test ^1 + 2 * 3")
+	mul := m.Body[0].(*ReturnStmt).X.(*SendNode)
+	if mul.Selector != "*" {
+		t.Fatalf("outer = %q", mul.Selector)
+	}
+	add := mul.Receiver.(*SendNode)
+	if add.Selector != "+" {
+		t.Fatalf("inner = %q", add.Selector)
+	}
+}
+
+func TestParseAssignmentChain(t *testing.T) {
+	m := parseM(t, "test | a b | a := b := 3 + 4")
+	st := m.Body[0].(*ExprStmt)
+	outer := st.X.(*AssignNode)
+	if outer.Name != "a" {
+		t.Fatalf("outer = %+v", outer)
+	}
+	inner := outer.Value.(*AssignNode)
+	if inner.Name != "b" {
+		t.Fatalf("inner = %+v", inner)
+	}
+}
+
+func TestParseCascade(t *testing.T) {
+	m := parseM(t, "test Transcript show: 'a'; cr; show: 'b' , 'c'")
+	c := m.Body[0].(*ExprStmt).X.(*CascadeNode)
+	recv := c.Receiver.(*VarNode)
+	if recv.Name != "Transcript" {
+		t.Fatalf("receiver = %+v", recv)
+	}
+	if len(c.Msgs) != 3 {
+		t.Fatalf("msgs = %d", len(c.Msgs))
+	}
+	if c.Msgs[0].Selector != "show:" || c.Msgs[1].Selector != "cr" || c.Msgs[2].Selector != "show:" {
+		t.Fatalf("selectors = %v %v %v", c.Msgs[0].Selector, c.Msgs[1].Selector, c.Msgs[2].Selector)
+	}
+	if _, ok := c.Msgs[2].Args[0].(*SendNode); !ok {
+		t.Fatal("cascade arg should be a binary send")
+	}
+}
+
+func TestParseBlocks(t *testing.T) {
+	m := parseM(t, "test ^[:x :y | | t | t := x + y. t]")
+	b := m.Body[0].(*ReturnStmt).X.(*BlockNode)
+	if len(b.Params) != 2 || len(b.Temps) != 1 || len(b.Body) != 2 {
+		t.Fatalf("block = %+v", b)
+	}
+}
+
+func TestParseEmptyBlock(t *testing.T) {
+	m := parseM(t, "test ^[]")
+	b := m.Body[0].(*ReturnStmt).X.(*BlockNode)
+	if len(b.Params) != 0 || len(b.Body) != 0 {
+		t.Fatalf("block = %+v", b)
+	}
+}
+
+func TestParseSuperSend(t *testing.T) {
+	m := parseM(t, "initialize super initialize. ^self")
+	s := m.Body[0].(*ExprStmt).X.(*SendNode)
+	if !s.Super || s.Selector != "initialize" {
+		t.Fatalf("send = %+v", s)
+	}
+}
+
+func TestParseLiteralArray(t *testing.T) {
+	m := parseM(t, "test ^#(1 2.5 $a 'str' #sym bare at:put: (3 4) true nil +)")
+	lit := m.Body[0].(*ReturnStmt).X.(*LiteralNode)
+	if lit.Kind != LitArray {
+		t.Fatalf("lit = %+v", lit)
+	}
+	kinds := []LitKind{LitInt, LitFloat, LitChar, LitString, LitSymbol, LitSymbol,
+		LitSymbol, LitArray, LitTrue, LitNil, LitSymbol}
+	if len(lit.Arr) != len(kinds) {
+		t.Fatalf("got %d elements, want %d: %+v", len(lit.Arr), len(kinds), lit.Arr)
+	}
+	for i, k := range kinds {
+		if lit.Arr[i].Kind != k {
+			t.Errorf("element %d kind = %v, want %v", i, lit.Arr[i].Kind, k)
+		}
+	}
+	if lit.Arr[6].Str != "at:put:" {
+		t.Errorf("keyword symbol = %q", lit.Arr[6].Str)
+	}
+	if len(lit.Arr[7].Arr) != 2 {
+		t.Errorf("nested array = %+v", lit.Arr[7])
+	}
+}
+
+func TestParseExpressionImplicitReturn(t *testing.T) {
+	m, err := ParseExpression("3 + 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Selector != "DoIt" || len(m.Body) != 1 {
+		t.Fatalf("m = %+v", m)
+	}
+	if _, ok := m.Body[0].(*ReturnStmt); !ok {
+		t.Fatal("last statement not converted to return")
+	}
+}
+
+func TestParseExpressionWithTemps(t *testing.T) {
+	m, err := ParseExpression("| x | x := 5. x * x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Temps) != 1 || len(m.Body) != 2 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestParsePipeAsBinarySelector(t *testing.T) {
+	m := parseM(t, "| aBoolean ^self")
+	if m.Selector != "|" || len(m.Params) != 1 {
+		t.Fatalf("m = %+v", m)
+	}
+	m = parseM(t, "test ^a | b")
+	s := m.Body[0].(*ReturnStmt).X.(*SendNode)
+	if s.Selector != "|" {
+		t.Fatalf("send = %+v", s)
+	}
+}
+
+func TestParseKeywordMessageMultipart(t *testing.T) {
+	m := parseM(t, "test ^d at: 1 put: 2")
+	s := m.Body[0].(*ReturnStmt).X.(*SendNode)
+	if s.Selector != "at:put:" || len(s.Args) != 2 {
+		t.Fatalf("send = %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                    // no pattern
+		"foo ^1. ^2",          // statement after return
+		"foo | a ",            // unterminated temps
+		"foo bar baz: ",       // missing argument
+		"foo (1 + 2",          // unbalanced paren
+		"foo [:x | x",         // unbalanced bracket
+		"foo 3; bar",          // cascade on non-send
+		"at: ^1",              // keyword pattern missing arg name
+		"foo <primitive: 0>",  // bad primitive number
+		"foo <frobnicate: 1>", // unknown pragma
+		"foo #(1 2",           // unterminated array
+		"foo 1 2",             // missing period
+	}
+	for _, src := range cases {
+		if _, err := ParseMethod(src); err == nil {
+			t.Errorf("ParseMethod(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseIfTrueShape(t *testing.T) {
+	m := parseM(t, "test x > 0 ifTrue: [^1] ifFalse: [^2]")
+	s := m.Body[0].(*ExprStmt).X.(*SendNode)
+	if s.Selector != "ifTrue:ifFalse:" {
+		t.Fatalf("selector = %q", s.Selector)
+	}
+	if _, ok := s.Args[0].(*BlockNode); !ok {
+		t.Fatal("arg0 not a block")
+	}
+}

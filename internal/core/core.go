@@ -1,0 +1,311 @@
+// Package core assembles Multiprocessor Smalltalk: a virtual Firefly, the
+// object memory, the replicated interpreters, and the virtual image, under
+// one configuration surface that expresses every system state and design
+// alternative the paper measures — baseline BS versus MS, the number of
+// processors, serialized versus replicated method caches and free context
+// lists, and serialized versus per-processor allocation.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mst/internal/firefly"
+	"mst/internal/heap"
+	"mst/internal/image"
+	"mst/internal/interp"
+	"mst/internal/object"
+)
+
+// Mode selects baseline BS or Multiprocessor Smalltalk.
+type Mode int
+
+const (
+	// ModeMS is Multiprocessor Smalltalk: multiprocessor support
+	// enabled (virtual locks, store-check serialization, replicated
+	// caches with their access overhead).
+	ModeMS Mode = iota
+	// ModeBaseline is "baseline BS": the identical interpreter with
+	// all multiprocessor support compiled out, the paper's reference
+	// point. Always runs on one processor.
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	if m == ModeBaseline {
+		return "baseline-BS"
+	}
+	return "MS"
+}
+
+// Config configures a complete system.
+type Config struct {
+	Mode       Mode
+	Processors int // the Firefly had five
+
+	// The paper's strategy alternatives (§3.2 and §4).
+	MethodCache  interp.CachePolicy
+	FreeContexts interp.FreeCtxPolicy
+	Alloc        heap.AllocPolicy
+
+	// Object memory sizing, in 8-byte words.
+	EdenWords     int
+	SurvivorWords int
+	OldWords      int
+	TenureAge     int
+
+	QuantumBytecodes int
+	TimeLimit        firefly.Time // 0: none
+
+	// ExtraSources are additional chunk-format sources filed in after
+	// the kernel (applications, benchmarks).
+	ExtraSources []string
+}
+
+// DefaultConfig is the production MS configuration on a five-processor
+// Firefly.
+func DefaultConfig() Config {
+	return Config{
+		Mode:          ModeMS,
+		Processors:    5,
+		MethodCache:   interp.CacheReplicated,
+		FreeContexts:  interp.FreeCtxPerProcessor,
+		Alloc:         heap.AllocSerialized,
+		EdenWords:     16 << 10, // ~128 KB: near the paper's 80 KB eden
+		SurvivorWords: 4 << 10,
+		OldWords:      4 << 20,
+		TenureAge:     4,
+	}
+}
+
+// BaselineConfig is the paper's reference point: BS ported to the
+// Firefly, no multiprocessor support, one processor.
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.Mode = ModeBaseline
+	c.Processors = 1
+	return c
+}
+
+// System is a booted Multiprocessor Smalltalk.
+type System struct {
+	Cfg Config
+	VM  *interp.VM
+
+	background int // background Processes spawned
+}
+
+// busyWorkerSource defines the paper's "busy" competitor: modeled on the
+// sweep-hand background Process, "it includes message sends and object
+// allocations, and also contends for the display."
+const busyWorkerSource = `
+Object subclass: #BusyWorker
+	instanceVariableNames: 'ticks'
+	category: 'Benchmarks'!
+
+!BusyWorker methodsFor: 'running'!
+step
+	"One sweep-hand tick: sends, allocations, display contention."
+	| a s |
+	ticks := ticks + 1.
+	a := Array new: 12.
+	1 to: 6 do: [:i | a at: i put: (self nudge: ticks + i)].
+	s := WriteStream on: (String new: 8).
+	ticks printOn: s.
+	a at: 7 put: s contents.
+	Display displayString: (a at: 7) at: ticks \\ 70 + 1 at: 23.
+	^a!
+nudge: x
+	^x + 1!
+run
+	ticks := 0.
+	[true] whileTrue: [self step]! !
+
+!BusyWorker class methodsFor: 'instance creation'!
+spawn
+	| w |
+	w := self new.
+	w setTicks.
+	[w run] fork.
+	^w! !
+
+!BusyWorker methodsFor: 'initialization'!
+setTicks
+	ticks := 0! !
+`
+
+// NewSystem boots a system under cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("core: need at least one processor")
+	}
+	if cfg.Mode == ModeBaseline && cfg.Processors != 1 {
+		return nil, fmt.Errorf("core: baseline BS is single-threaded; use one processor")
+	}
+	hcfg := heap.Config{
+		OldWords:      cfg.OldWords,
+		EdenWords:     cfg.EdenWords,
+		SurvivorWords: cfg.SurvivorWords,
+		TenureAge:     cfg.TenureAge,
+		Policy:        cfg.Alloc,
+	}
+	if hcfg.OldWords == 0 {
+		hcfg = heap.DefaultConfig()
+		hcfg.Policy = cfg.Alloc
+	}
+	vcfg := interp.Config{
+		MSMode:           cfg.Mode == ModeMS,
+		MethodCache:      cfg.MethodCache,
+		FreeContexts:     cfg.FreeContexts,
+		QuantumBytecodes: cfg.QuantumBytecodes,
+		PanicOnVMError:   true,
+	}
+	m := firefly.New(cfg.Processors, firefly.DefaultCosts())
+	if cfg.TimeLimit > 0 {
+		m.SetTimeLimit(cfg.TimeLimit)
+	}
+	sources := append([]string{busyWorkerSource}, cfg.ExtraSources...)
+	vm, err := image.BootOn(m, hcfg, vcfg, sources...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Cfg: cfg, VM: vm}, nil
+}
+
+// Evaluate runs source as a user-priority Process to completion and
+// answers the result's printString (computed by image code).
+func (s *System) Evaluate(source string) (string, error) {
+	return image.EvaluateToString(s.VM, source)
+}
+
+// EvaluateRaw runs source and answers the raw result oop, without
+// invoking image printing.
+func (s *System) EvaluateRaw(source string) (object.OOP, error) {
+	res, err := s.VM.Evaluate(source)
+	if err != nil {
+		return object.Nil, err
+	}
+	return res.Value, nil
+}
+
+// EvaluateInt runs source expecting a SmallInteger result.
+func (s *System) EvaluateInt(source string) (int64, error) {
+	o, err := s.EvaluateRaw(source)
+	if err != nil {
+		return 0, err
+	}
+	if !o.IsInt() {
+		return 0, fmt.Errorf("core: %q answered %s, not an integer",
+			source, s.VM.DescribeOOP(o))
+	}
+	return o.Int(), nil
+}
+
+// FileIn loads additional chunk-format source.
+func (s *System) FileIn(name, source string) error {
+	return image.FileIn(s.VM, name, source)
+}
+
+// SpawnIdleProcesses forks n of the paper's idle Processes: the trivial
+// expression [true] whileTrue, which the compiler translates "into
+// bytecode which neither looks up messages nor allocates memory".
+func (s *System) SpawnIdleProcesses(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := s.EvaluateRaw("[[true] whileTrue] fork"); err != nil {
+			return err
+		}
+		s.background++
+	}
+	return nil
+}
+
+// SpawnBusyProcesses forks n sweep-hand-style busy Processes (sends,
+// allocations, display contention).
+func (s *System) SpawnBusyProcesses(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := s.EvaluateRaw("BusyWorker spawn"); err != nil {
+			return err
+		}
+		s.background++
+	}
+	return nil
+}
+
+// BackgroundProcesses returns how many background Processes were spawned.
+func (s *System) BackgroundProcesses() int { return s.background }
+
+// Stats aggregates every layer's statistics.
+type Stats struct {
+	Heap   heap.Stats
+	Interp interp.Stats
+	Locks  []firefly.LockStats
+	Procs  []firefly.ProcStats
+}
+
+// Stats returns a snapshot of the system's statistics.
+func (s *System) Stats() Stats {
+	m := s.VM.M
+	procs := make([]firefly.ProcStats, m.NumProcs())
+	for i := range procs {
+		procs[i] = m.Proc(i).Stats()
+	}
+	return Stats{
+		Heap:   s.VM.H.Stats(),
+		Interp: s.VM.Stats(),
+		Locks:  m.LockStats(),
+		Procs:  procs,
+	}
+}
+
+// VirtualTime returns the maximum virtual clock across processors.
+func (s *System) VirtualTime() firefly.Time {
+	var max firefly.Time
+	for i := 0; i < s.VM.M.NumProcs(); i++ {
+		if t := s.VM.M.Proc(i).Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// TranscriptText returns everything written to the Transcript.
+func (s *System) TranscriptText() string { return s.VM.Disp.TranscriptText() }
+
+// SaveImage writes a snapshot of the running image to w after parking
+// every Process (including background workers); the running system
+// continues afterwards. Smalltalk code can snapshot itself with
+// `Smalltalk snapshotTo: 'path'`.
+func (s *System) SaveImage(w io.Writer) error {
+	var snapErr error
+	err := s.VM.Do(func(p *firefly.Proc) {
+		s.VM.ParkAllProcesses(p)
+		snapErr = image.WriteSnapshot(s.VM, w)
+	})
+	if err != nil {
+		return err
+	}
+	return snapErr
+}
+
+// LoadImage boots a system from a snapshot on a fresh machine with the
+// given processor count. Processes that were on the ready queue at
+// snapshot time resume when evaluation next drives the machine.
+func LoadImage(processors int, r io.Reader) (*System, error) {
+	if processors < 1 {
+		return nil, fmt.Errorf("core: need at least one processor")
+	}
+	m := firefly.New(processors, firefly.DefaultCosts())
+	vm, err := image.ReadSnapshot(m, r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig()
+	cfg.Processors = processors
+	if !vm.Cfg.MSMode {
+		cfg.Mode = ModeBaseline
+	}
+	return &System{Cfg: cfg, VM: vm}, nil
+}
+
+// Shutdown stops the machine; the system is unusable afterwards.
+func (s *System) Shutdown() { s.VM.M.Shutdown() }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveAndLoadImage(t *testing.T) {
+	s := newSystem(t, nil)
+	// Mutate the image: a new class, a global, some state.
+	if _, err := s.EvaluateRaw(
+		"Object subclass: 'SnapState' instanceVariableNames: 'n' category: 'Tests'"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FileIn("snap.st", `!SnapState methodsFor: 'counting'!
+bump
+	n isNil ifTrue: [n := 0].
+	n := n + 1.
+	^n! !
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EvaluateRaw("Smalltalk at: 'TheCounter' put: SnapState new"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.EvaluateInt("TheCounter bump. TheCounter bump"); err != nil || n != 2 {
+		t.Fatalf("bump = %d, %v", n, err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveImage(&buf); err != nil {
+		t.Fatalf("SaveImage: %v", err)
+	}
+	// The running system keeps working after the snapshot.
+	if n, err := s.EvaluateInt("TheCounter bump"); err != nil || n != 3 {
+		t.Fatalf("post-snapshot bump = %d, %v", n, err)
+	}
+
+	// Load into a fresh machine: the counter resumes from the
+	// snapshotted value (2), not the later one.
+	loaded, err := LoadImage(5, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+	defer loaded.Shutdown()
+	if n, err := loaded.EvaluateInt("TheCounter bump"); err != nil || n != 3 {
+		t.Fatalf("loaded bump = %d, %v (errors: %v)", n, err, loaded.VM.Errors())
+	}
+	// The whole library still works in the loaded image.
+	if out, err := loaded.Evaluate("(1 to: 10) inject: 0 into: [:a :b | a + b]"); err != nil || out != "55" {
+		t.Fatalf("loaded eval = %q, %v", out, err)
+	}
+	if out, err := loaded.Evaluate("Collection printHierarchy size > 10"); err != nil || out != "true" {
+		t.Fatalf("loaded browse = %q, %v", out, err)
+	}
+}
+
+func TestSnapshotFromSmalltalk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.image")
+	s := newSystem(t, nil)
+	if _, err := s.EvaluateRaw("Smalltalk at: 'Marker' put: 77"); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot primitive follows the paper's activeProcess
+	// protocol and the snapshotting Process continues afterwards.
+	if n, err := s.EvaluateInt("Smalltalk snapshotTo: '" + path + "'. Marker + 1"); err != nil || n != 78 {
+		t.Fatalf("continue after snapshot = %d, %v", n, err)
+	}
+	// The scheduler's activeProcess slot is empty again.
+	if out, err := s.Evaluate("(Processor instVarAt: 2) isNil"); err != nil || out != "true" {
+		t.Fatalf("activeProcess slot = %q, %v", out, err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := LoadImage(2, f)
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+	defer loaded.Shutdown()
+	if n, err := loaded.EvaluateInt("Marker"); err != nil || n != 77 {
+		t.Fatalf("loaded marker = %d, %v", n, err)
+	}
+}
+
+func TestSnapshotPreservesBackgroundProcesses(t *testing.T) {
+	s := newSystem(t, nil)
+	// A background process that keeps incrementing a global counter.
+	if _, err := s.EvaluateRaw("Smalltalk at: 'Ticks' put: (Array with: 0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EvaluateRaw(
+		"[[true] whileTrue: [Ticks at: 1 put: (Ticks at: 1) + 1. Processor yield]] fork"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.EvaluateInt("Ticks at: 1"); err != nil || n == 0 {
+		t.Fatalf("background not ticking: %d, %v", n, err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadImage(3, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Shutdown()
+	// In the loaded image the background Process resumes and keeps
+	// ticking.
+	a, err := loaded.EvaluateInt("Ticks at: 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.EvaluateInt("| t | t := Ticks at: 1. 1 to: 500 do: [:i | Processor yield]. Ticks at: 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("background process did not resume: %d -> %d", a, b)
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	if _, err := LoadImage(1, bytes.NewReader([]byte("not an image"))); err == nil {
+		t.Fatal("garbage accepted as image")
+	}
+}

@@ -1,0 +1,87 @@
+package firefly
+
+// Costs is the machine's cost model, in ticks of virtual time. The values
+// are loosely calibrated to a microVAX-class processor where one tick is
+// roughly one microsecond (≈1 simple instruction sequence). The absolute
+// scale is irrelevant to the reproduced experiments — all results are
+// ratios against the baseline system — but the *relative* weights matter:
+// a message send costs several bytecodes, a lock acquisition costs a few
+// interlocked bus operations, a spin retry includes the V kernel's
+// minimal-timeout Delay, and a scavenge is proportional to surviving data.
+type Costs struct {
+	// Interpreter.
+	Bytecode      Time // dispatch + execute one simple bytecode
+	SendExtra     Time // extra work to activate/return a method context
+	CacheProbe    Time // one method-cache probe (hit or first probe of miss)
+	CacheReplica  Time // extra per-probe cost of indexing a replicated cache
+	LookupPerDict Time // probing one method dictionary on a cache miss
+	PrimBase      Time // entering a primitive
+	FreeListPop   Time // recycling a context from a free list
+	ProcessSwitch Time // switching the interpreter to another Process
+	SchedOp       Time // one ready-queue manipulation (link/unlink/scan)
+	IdlePoll      Time // one poll of the ready queue when idle
+	EventPoll     Time // one per-quantum poll of device queues
+
+	// Synchronization.
+	LockTAS       Time // interlocked test-and-set
+	LockSpinRetry Time // failed test-and-set + minimal-timeout Delay
+	LockRelease   Time // releasing a spinlock
+
+	// Storage.
+	Alloc        Time // bump allocation (check + increment)
+	AllocPerWord Time // zero-filling, per word
+	TLABRefill   Time // refilling a per-processor allocation chunk
+	StoreCheck   Time // a *taken* store check (recording in the entry table)
+
+	// Scavenging.
+	ScavengeBase      Time // fixed rendezvous + root-scan cost
+	ScavengePerObject Time // per surviving object
+	ScavengePerWord   Time // per surviving word copied
+
+	// Devices.
+	DisplayOp Time // posting one command to the display output queue
+	InputOp   Time // transferring one input event from the device
+
+	// Memory-bus contention: each bytecode executed while k processors
+	// are actively running Smalltalk Processes accrues (k-1)/BusDivisor
+	// extra ticks (fractional, via an accumulator). This models the
+	// Firefly's shared memory bus degrading under parallel load — the
+	// effect behind the paper's idle-competition overhead. Zero
+	// disables the model.
+	BusDivisor Time
+}
+
+// DefaultCosts returns the cost model used throughout the reproduction.
+func DefaultCosts() Costs {
+	return Costs{
+		Bytecode:      1,
+		SendExtra:     4,
+		CacheProbe:    1,
+		CacheReplica:  1,
+		LookupPerDict: 10,
+		PrimBase:      2,
+		FreeListPop:   2,
+		ProcessSwitch: 30,
+		SchedOp:       6,
+		IdlePoll:      25,
+		EventPoll:     1,
+
+		LockTAS:       3,
+		LockSpinRetry: 15,
+		LockRelease:   1,
+
+		Alloc:        5,
+		AllocPerWord: 1,
+		TLABRefill:   20,
+		StoreCheck:   3,
+
+		ScavengeBase:      400,
+		ScavengePerObject: 3,
+		ScavengePerWord:   1,
+
+		DisplayOp: 40,
+		InputOp:   15,
+
+		BusDivisor: 14,
+	}
+}

@@ -1,0 +1,201 @@
+package firefly
+
+import "fmt"
+
+// Spinlock is a virtual spinlock in the style of the V system locks used
+// by MS: an interlocked test-and-set, and on failure a minimal-timeout
+// Delay before retrying.
+//
+// The simulation exploits a structural property of MS's locks: every
+// critical section is *brief and host-atomic* — it performs no operation
+// that could hand control to another virtual processor (the paper's
+// criterion for choosing serialization: "access is brief and relatively
+// infrequent"). The lock therefore never needs to block at the host
+// level; it is a virtual-time reservation. Acquire at clock t on a lock
+// last free at time f charges test-and-set time, and when t < f — the
+// lock was held during [t, f) by a processor that is ahead in virtual
+// time — the acquirer spins in Delay-retry quanta until f. Contention,
+// spin time, and serialization delays are thus fully modelled in virtual
+// time while the host execution stays simple and deterministic, and
+// acquiring a lock is never a garbage-collection point.
+//
+// The held flag exists only to enforce the host-atomicity invariant: a
+// critical section that yields (or scavenges, which stalls the other
+// processors but leaves the holder marked) would be a simulator bug and
+// panics.
+//
+// A disabled lock (baseline-BS mode, with multiprocessor support
+// compiled out) costs nothing and keeps no state.
+type Spinlock struct {
+	name    string
+	enabled bool
+	held    bool
+	holder  int
+	freeAt  Time // virtual time of the most recent release
+
+	acquisitions uint64
+	contentions  uint64
+	spinTime     Time
+}
+
+// NewSpinlock registers a named spinlock with the machine (for
+// statistics) and returns it. When enabled is false the lock is a free
+// no-op, modelling the baseline system.
+func (m *Machine) NewSpinlock(name string, enabled bool) *Spinlock {
+	l := &Spinlock{name: name, enabled: enabled}
+	m.locks = append(m.locks, l)
+	return l
+}
+
+// Acquire takes the lock at the processor's current virtual time,
+// spinning (in virtual time only) while the lock was held.
+func (l *Spinlock) Acquire(p *Proc) {
+	if !l.enabled {
+		return
+	}
+	c := p.m.costs
+	p.Advance(c.LockTAS)
+	if l.held {
+		panic(fmt.Sprintf("firefly: processor %d acquired lock %q while processor %d is inside the critical section (a critical section must not yield)",
+			p.id, l.name, l.holder))
+	}
+	if p.clock < l.freeAt {
+		// The lock is held during [p.clock, freeAt) by a processor
+		// ahead in virtual time: spin in test-and-set + Delay rounds.
+		l.contentions++
+		wait := l.freeAt - p.clock
+		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
+		spin := rounds * c.LockSpinRetry
+		p.AdvanceSpin(spin)
+		l.spinTime += spin
+	}
+	l.held = true
+	l.holder = p.id
+	l.acquisitions++
+}
+
+// TryAcquire takes the lock if it is free at the processor's current
+// virtual time, charging only test-and-set time. It reports whether the
+// lock was acquired.
+func (l *Spinlock) TryAcquire(p *Proc) bool {
+	if !l.enabled {
+		return true
+	}
+	p.Advance(p.m.costs.LockTAS)
+	if l.held {
+		panic(fmt.Sprintf("firefly: processor %d probed lock %q inside processor %d's critical section",
+			p.id, l.name, l.holder))
+	}
+	if p.clock < l.freeAt {
+		l.contentions++
+		return false
+	}
+	l.held = true
+	l.holder = p.id
+	l.acquisitions++
+	return true
+}
+
+// Release frees the lock; the critical section's virtual duration is the
+// holder's clock advance between Acquire and Release.
+func (l *Spinlock) Release(p *Proc) {
+	if !l.enabled {
+		return
+	}
+	if !l.held || l.holder != p.id {
+		panic(fmt.Sprintf("firefly: processor %d releasing lock %q it does not hold", p.id, l.name))
+	}
+	l.held = false
+	p.Advance(p.m.costs.LockRelease)
+	l.freeAt = p.clock
+}
+
+// Held reports whether the lock is currently held (always false when
+// disabled, and false between host operations by construction).
+func (l *Spinlock) Held() bool { return l.held }
+
+// Name returns the lock's registration name.
+func (l *Spinlock) Name() string { return l.name }
+
+// RWSpinlock is a virtual two-level (readers-writer) lock, the scheme
+// MS first used for its shared method cache ("a two-level locking
+// scheme to allow multiple readers"). Readers overlap freely; a writer
+// waits for every outstanding read and excludes everything until it
+// releases. Like Spinlock it is a virtual-time reservation: critical
+// sections are host-atomic and only the timing is modelled.
+type RWSpinlock struct {
+	inner *Spinlock // carries name/enabled/stats; its freeAt is the write horizon
+	// readsEnd is the virtual time the last overlapping read finishes.
+	readsEnd Time
+}
+
+// NewRWSpinlock registers a named readers-writer lock.
+func (m *Machine) NewRWSpinlock(name string, enabled bool) *RWSpinlock {
+	return &RWSpinlock{inner: m.NewSpinlock(name, enabled)}
+}
+
+// AcquireRead enters a read-side critical section at the processor's
+// virtual time: it waits only for a pending writer, never for other
+// readers.
+func (l *RWSpinlock) AcquireRead(p *Proc) {
+	in := l.inner
+	if !in.enabled {
+		return
+	}
+	c := p.m.costs
+	p.Advance(c.LockTAS)
+	in.acquisitions++
+	if p.clock < in.freeAt { // a writer holds the lock until freeAt
+		in.contentions++
+		wait := in.freeAt - p.clock
+		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
+		spin := rounds * c.LockSpinRetry
+		p.AdvanceSpin(spin)
+		in.spinTime += spin
+	}
+}
+
+// ReleaseRead leaves the read-side section, extending the read horizon
+// a writer must wait for.
+func (l *RWSpinlock) ReleaseRead(p *Proc) {
+	if !l.inner.enabled {
+		return
+	}
+	p.Advance(p.m.costs.LockRelease)
+	if p.clock > l.readsEnd {
+		l.readsEnd = p.clock
+	}
+}
+
+// AcquireWrite enters the exclusive section: it waits for the previous
+// writer and for every outstanding reader.
+func (l *RWSpinlock) AcquireWrite(p *Proc) {
+	in := l.inner
+	if !in.enabled {
+		return
+	}
+	c := p.m.costs
+	p.Advance(c.LockTAS)
+	in.acquisitions++
+	horizon := in.freeAt
+	if l.readsEnd > horizon {
+		horizon = l.readsEnd
+	}
+	if p.clock < horizon {
+		in.contentions++
+		wait := horizon - p.clock
+		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
+		spin := rounds * c.LockSpinRetry
+		p.AdvanceSpin(spin)
+		in.spinTime += spin
+	}
+}
+
+// ReleaseWrite leaves the exclusive section.
+func (l *RWSpinlock) ReleaseWrite(p *Proc) {
+	if !l.inner.enabled {
+		return
+	}
+	p.Advance(p.m.costs.LockRelease)
+	l.inner.freeAt = p.clock
+}

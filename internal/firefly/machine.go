@@ -1,0 +1,414 @@
+// Package firefly simulates a small shared-memory multiprocessor in the
+// spirit of the DEC-SRC Firefly running the V kernel, the hardware and
+// operating-system base of the Multiprocessor Smalltalk (MS) project
+// (Pallas & Ungar, PLDI 1988).
+//
+// The simulator is deterministic: each virtual processor has its own
+// virtual-time clock, and a driver interleaves bounded quanta of work,
+// always resuming the runnable processor with the smallest clock. Work
+// running on a processor charges virtual time through the cost model
+// (Costs). Virtual spinlocks make lock hold intervals and contention
+// windows overlap in virtual time exactly as they would on real parallel
+// hardware, so contention, stalls, and utilization are emergent properties
+// of the workload; only the primitive operation costs are assumed.
+//
+// Each processor's work function runs on its own goroutine, but a baton
+// protocol guarantees that exactly one goroutine (or the driver) executes
+// at any moment, so the simulated machine state needs no host-level
+// synchronization and every run is reproducible.
+package firefly
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in ticks. One tick is one microsecond of simulated
+// time; TicksPerMS ticks make one virtual millisecond, the unit reported by
+// the Smalltalk millisecond clock and by all benchmarks.
+type Time int64
+
+// TicksPerMS is the number of virtual ticks per virtual millisecond.
+const TicksPerMS Time = 1000
+
+// Ms converts a tick count to whole virtual milliseconds.
+func (t Time) Ms() int64 { return int64(t / TicksPerMS) }
+
+// String formats a Time as fractional virtual milliseconds.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%03dms", t/TicksPerMS, t%TicksPerMS)
+}
+
+// StopReason reports why Machine.Run returned.
+type StopReason int
+
+const (
+	// StopUntil means the caller's until predicate became true.
+	StopUntil StopReason = iota
+	// StopAllDone means every processor's work function returned.
+	StopAllDone
+	// StopTimeLimit means virtual time exceeded the machine's limit.
+	StopTimeLimit
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopUntil:
+		return "until-satisfied"
+	case StopAllDone:
+		return "all-done"
+	case StopTimeLimit:
+		return "time-limit"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Proc is one virtual processor. All methods must be called from the
+// processor's own work function (they run under the machine baton).
+type Proc struct {
+	id      int
+	m       *Machine
+	clock   Time
+	yieldAt Time
+
+	resume  chan struct{}
+	started bool
+	done    bool
+	active  bool
+
+	// Statistics, all in ticks of virtual time.
+	busy  Time // productive work
+	spin  Time // spinning on contended locks
+	stall Time // stalled for stop-the-world collection
+	idle  Time // idling with no Smalltalk process to run
+}
+
+// ID returns the processor number, 0-based.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the processor's current virtual time.
+func (p *Proc) Now() Time { return p.clock }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Advance charges c ticks of productive virtual time to this processor.
+func (p *Proc) Advance(c Time) {
+	p.clock += c
+	p.busy += c
+}
+
+// AdvanceSpin charges c ticks of lock-spinning time.
+func (p *Proc) AdvanceSpin(c Time) {
+	p.clock += c
+	p.spin += c
+}
+
+// AdvanceIdle charges c ticks of idle (no runnable process) time.
+func (p *Proc) AdvanceIdle(c Time) {
+	p.clock += c
+	p.idle += c
+}
+
+// StallUntil advances the processor's clock to t (if t is later),
+// accounting the gap as garbage-collection stall time.
+func (p *Proc) StallUntil(t Time) {
+	if t > p.clock {
+		p.stall += t - p.clock
+		p.clock = t
+	}
+}
+
+// Stopped reports whether the machine has been shut down; work functions
+// must poll it and return promptly when it becomes true.
+func (p *Proc) Stopped() bool { return p.m.shutdown }
+
+// Yield hands control back to the driver unconditionally. The driver will
+// resume this processor again when its clock is the smallest.
+func (p *Proc) Yield() {
+	p.m.toDriver <- struct{}{}
+	<-p.resume
+}
+
+// CheckYield yields only when this processor has run past its current
+// quantum deadline. Call it at safepoints (all live object references
+// flushed to registered GC roots): the stop-the-world scavenger may run on
+// another processor while this one is parked here.
+func (p *Proc) CheckYield() {
+	if p.clock >= p.yieldAt {
+		p.Yield()
+	}
+}
+
+// Stats is a snapshot of one processor's time accounting.
+type ProcStats struct {
+	Busy  Time
+	Spin  Time
+	Stall Time
+	Idle  Time
+	Clock Time
+}
+
+// Stats returns the processor's current time accounting.
+func (p *Proc) Stats() ProcStats {
+	return ProcStats{Busy: p.busy, Spin: p.spin, Stall: p.stall, Idle: p.idle, Clock: p.clock}
+}
+
+// SetActive marks whether this processor is executing a Smalltalk
+// Process (true) or idling (false); the count feeds the memory-bus
+// contention model.
+func (p *Proc) SetActive(active bool) {
+	if active == p.active {
+		return
+	}
+	p.active = active
+	if active {
+		p.m.activeProcs++
+	} else {
+		p.m.activeProcs--
+	}
+}
+
+// ActiveProcs returns how many processors are executing Smalltalk
+// Processes right now.
+func (m *Machine) ActiveProcs() int { return m.activeProcs }
+
+type event struct {
+	at  Time
+	seq int
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	procs   []*Proc
+	costs   Costs
+	quantum Time
+	limit   Time
+
+	events   eventQueue
+	eventSeq int
+
+	locks []*Spinlock
+
+	toDriver chan struct{}
+	running  bool
+	shutdown bool
+
+	switches uint64
+
+	// activeProcs counts processors currently executing Smalltalk
+	// Processes (not idling). The shared memory bus degrades as more
+	// processors actively execute; see Costs.BusDivisor.
+	activeProcs int
+}
+
+// New creates a machine with n processors and the given cost model.
+// The scheduling quantum defaults to 200 ticks.
+func New(n int, costs Costs) *Machine {
+	if n < 1 {
+		panic("firefly: machine needs at least one processor")
+	}
+	m := &Machine{
+		costs:    costs,
+		quantum:  200,
+		limit:    1 << 62,
+		toDriver: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		m.procs = append(m.procs, &Proc{id: i, m: m, resume: make(chan struct{})})
+	}
+	return m
+}
+
+// NumProcs returns the number of virtual processors.
+func (m *Machine) NumProcs() int { return len(m.procs) }
+
+// Proc returns processor i.
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+// Costs returns the machine's cost model.
+func (m *Machine) Costs() *Costs { return &m.costs }
+
+// SetQuantum sets the scheduling quantum in ticks. Smaller quanta give a
+// finer-grained (more faithful) interleaving at more host overhead.
+func (m *Machine) SetQuantum(q Time) {
+	if q < 1 {
+		q = 1
+	}
+	m.quantum = q
+}
+
+// SetTimeLimit caps virtual time; Run returns StopTimeLimit beyond it.
+func (m *Machine) SetTimeLimit(t Time) { m.limit = t }
+
+// Switches returns how many processor resumptions the driver performed.
+func (m *Machine) Switches() uint64 { return m.switches }
+
+// Start installs fn as processor i's work function and starts its
+// goroutine, parked until the driver first schedules it. The function
+// should loop until p.Stopped() reports true.
+func (m *Machine) Start(i int, fn func(p *Proc)) {
+	p := m.procs[i]
+	if p.started {
+		panic(fmt.Sprintf("firefly: processor %d already started", i))
+	}
+	p.started = true
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		m.toDriver <- struct{}{}
+	}()
+}
+
+// At schedules fn to run at virtual time t (from the driver, between
+// processor quanta, once every processor clock has reached t). Use it to
+// inject external stimuli such as input events; fn must only touch
+// device-level state, never the Smalltalk heap.
+func (m *Machine) At(t Time, fn func()) {
+	m.eventSeq++
+	heap.Push(&m.events, &event{at: t, seq: m.eventSeq, fn: fn})
+}
+
+// minClock returns the smallest clock among live processors and that
+// processor, or nil when all processors are done.
+func (m *Machine) minClock() (*Proc, Time) {
+	var best *Proc
+	for _, p := range m.procs {
+		if p.done || !p.started {
+			continue
+		}
+		if best == nil || p.clock < best.clock {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, best.clock
+}
+
+// secondClock returns the smallest clock among live processors other
+// than p, or p's own clock when p is the only live processor.
+func (m *Machine) secondClock(p *Proc) Time {
+	best := Time(-1)
+	for _, q := range m.procs {
+		if q == p || q.done || !q.started {
+			continue
+		}
+		if best < 0 || q.clock < best {
+			best = q.clock
+		}
+	}
+	if best < 0 {
+		return p.clock
+	}
+	return best
+}
+
+// Run drives the machine until the predicate becomes true (checked between
+// quanta), every work function returns, or virtual time passes the limit.
+// Run may be called repeatedly to continue the same machine.
+func (m *Machine) Run(until func() bool) StopReason {
+	if m.running {
+		panic("firefly: Run is not reentrant")
+	}
+	if m.shutdown {
+		panic("firefly: machine is shut down")
+	}
+	m.running = true
+	defer func() { m.running = false }()
+
+	for {
+		if until != nil && until() {
+			return StopUntil
+		}
+		p, min := m.minClock()
+		if p == nil {
+			return StopAllDone
+		}
+		// Deliver external events that are due at or before the
+		// current virtual moment.
+		for len(m.events) > 0 && m.events[0].at <= min {
+			e := heap.Pop(&m.events).(*event)
+			e.fn()
+		}
+		if min > m.limit {
+			return StopTimeLimit
+		}
+		p.yieldAt = m.secondClock(p) + m.quantum
+		m.switches++
+		p.resume <- struct{}{}
+		<-m.toDriver
+	}
+}
+
+// StallOthers advances every processor except p to time t, accounting the
+// gap as stop-the-world stall. The scavenger calls this when it finishes.
+func (m *Machine) StallOthers(p *Proc, t Time) {
+	for _, q := range m.procs {
+		if q != p && !q.done {
+			q.StallUntil(t)
+		}
+	}
+}
+
+// Shutdown tells every work function to return and waits for them. The
+// machine cannot be used afterwards.
+func (m *Machine) Shutdown() {
+	if m.shutdown {
+		return
+	}
+	m.shutdown = true
+	for _, p := range m.procs {
+		for p.started && !p.done {
+			p.resume <- struct{}{}
+			<-m.toDriver
+		}
+	}
+}
+
+// LockStats describes one virtual spinlock's history.
+type LockStats struct {
+	Name         string
+	Acquisitions uint64
+	Contentions  uint64
+	SpinTime     Time
+}
+
+// LockStats returns statistics for every registered lock, in registration
+// order.
+func (m *Machine) LockStats() []LockStats {
+	out := make([]LockStats, 0, len(m.locks))
+	for _, l := range m.locks {
+		out = append(out, LockStats{
+			Name:         l.name,
+			Acquisitions: l.acquisitions,
+			Contentions:  l.contentions,
+			SpinTime:     l.spinTime,
+		})
+	}
+	return out
+}

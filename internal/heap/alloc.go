@@ -1,0 +1,186 @@
+package heap
+
+import (
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// Allocate creates a new object of the given class with bodyWords logical
+// fields (or raw words) and returns its OOP. Pointer bodies are
+// initialized to nil, raw bodies to zero.
+//
+// Allocation follows the paper: under the serialized policy it is "little
+// more than incrementing a pointer" guarded by a spinlock; under the
+// per-processor policy it bumps a local chunk, refilling from eden under
+// the lock. Allocation MAY SCAVENGE, and scavenging moves objects: the
+// caller must re-read any raw oops held in locals from handles or
+// registered roots afterwards (class is protected internally).
+func (h *Heap) Allocate(p *firefly.Proc, class object.OOP, bodyWords int, f object.Format) object.OOP {
+	var words, slack int
+	if f == object.FmtBytes {
+		// bodyWords is a byte count for byte objects.
+		words, slack = object.BodyWordsForBytes(bodyWords)
+	} else {
+		words, slack = object.BodyWordsForFields(bodyWords)
+	}
+	total := words + object.HeaderWords
+
+	// Protect class across a possible scavenge inside ensureSpace.
+	hp := h.handlePools[p.ID()]
+	ch := hp.add(class)
+
+	if h.cfg.TortureGC && !h.inGC {
+		h.Scavenge(p)
+	}
+
+	addr := h.reserve(p, total)
+	class = hp.get(ch)
+	hp.release(ch)
+
+	hd := object.MakeHeader(total, f, slack)
+	h.mem[addr] = uint64(hd)
+	h.mem[addr+1] = uint64(class)
+	fill := uint64(0)
+	if f == object.FmtPointers {
+		fill = uint64(object.Nil)
+	}
+	for i := addr + object.HeaderWords; i < addr+uint64(total); i++ {
+		h.mem[i] = fill
+	}
+
+	c := h.m.Costs()
+	p.Advance(c.Alloc + c.AllocPerWord*firefly.Time(total))
+	h.stats.Allocations++
+	h.stats.AllocatedWords += uint64(total)
+
+	o := object.FromAddr(addr)
+	if addr < h.newBase && h.InNewSpace(class) {
+		// Rare: object allocated directly in old space with a class
+		// still in new space must enter the entry table.
+		h.storeCheck(p, o, class)
+	}
+	return o
+}
+
+// AllocateNoGC creates an object that is guaranteed not to trigger a
+// scavenge; it is used by genesis before the interpreter exists and
+// allocates directly in old space. It panics if old space is full.
+func (h *Heap) AllocateNoGC(class object.OOP, bodyWords int, f object.Format) object.OOP {
+	var words, slack int
+	if f == object.FmtBytes {
+		words, slack = object.BodyWordsForBytes(bodyWords)
+	} else {
+		words, slack = object.BodyWordsForFields(bodyWords)
+	}
+	total := words + object.HeaderWords
+	if h.old.free() < total {
+		panic(OOMError{NeedWords: total})
+	}
+	addr := h.old.next
+	h.old.next += uint64(total)
+	h.mem[addr] = uint64(object.MakeHeader(total, f, slack))
+	h.mem[addr+1] = uint64(class)
+	fill := uint64(0)
+	if f == object.FmtPointers {
+		fill = uint64(object.Nil)
+	}
+	for i := addr + object.HeaderWords; i < addr+uint64(total); i++ {
+		h.mem[i] = fill
+	}
+	h.stats.Allocations++
+	h.stats.AllocatedWords += uint64(total)
+	return object.FromAddr(addr)
+}
+
+// largeObjectWords is the size beyond which objects are allocated
+// directly in old space (they would not fit a survivor space anyway).
+func (h *Heap) largeObjectWords() int { return h.cfg.SurvivorWords / 4 }
+
+// reserve returns the address of a fresh block of total words, scavenging
+// if eden is exhausted.
+func (h *Heap) reserve(p *firefly.Proc, total int) uint64 {
+	if total >= h.largeObjectWords() {
+		return h.reserveOld(p, total)
+	}
+	if h.cfg.Policy == AllocPerProcessor {
+		return h.reserveTLAB(p, total)
+	}
+	c := h.m.Costs()
+	for attempt := 0; ; attempt++ {
+		h.allocLock.Acquire(p)
+		if h.eden.free() >= total {
+			addr := h.eden.next
+			h.eden.next += uint64(total)
+			h.allocLock.Release(p)
+			return addr
+		}
+		h.allocLock.Release(p)
+		if attempt > 0 {
+			// A scavenge just ran and eden still cannot hold the
+			// request; treat it as a large object.
+			return h.reserveOld(p, total)
+		}
+		p.Advance(c.Alloc)
+		h.Scavenge(p)
+	}
+}
+
+// reserveTLAB bumps the processor's local chunk, refilling from eden.
+func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
+	t := &h.tlabs[p.ID()]
+	if t.limit-t.next >= uint64(total) {
+		addr := t.next
+		t.next += uint64(total)
+		return addr
+	}
+	c := h.m.Costs()
+	chunk := h.cfg.EdenWords / (8 * len(h.tlabs))
+	if chunk < total*2 {
+		chunk = total * 2
+	}
+	chunk &^= 1 // chunks must keep object addresses even
+	for attempt := 0; ; attempt++ {
+		h.allocLock.Acquire(p)
+		if h.eden.free() >= total {
+			n := chunk
+			if n > h.eden.free() {
+				n = h.eden.free() &^ 1
+			}
+			t.next = h.eden.next
+			t.limit = h.eden.next + uint64(n)
+			h.eden.next = t.limit
+			h.allocLock.Release(p)
+			p.Advance(c.TLABRefill)
+			h.stats.TLABRefills++
+			addr := t.next
+			t.next += uint64(total)
+			return addr
+		}
+		h.allocLock.Release(p)
+		if attempt > 0 {
+			return h.reserveOld(p, total)
+		}
+		h.Scavenge(p)
+	}
+}
+
+// reserveOld allocates directly in old space (large objects).
+func (h *Heap) reserveOld(p *firefly.Proc, total int) uint64 {
+	h.allocLock.Acquire(p)
+	if h.old.free() < total {
+		h.allocLock.Release(p)
+		panic(OOMError{NeedWords: total})
+	}
+	addr := h.old.next
+	h.old.next += uint64(total)
+	h.allocLock.Release(p)
+	return addr
+}
+
+// ResetTLABs invalidates every processor's local chunk (after a scavenge
+// emptied eden).
+func (h *Heap) resetTLABs() {
+	for i := range h.tlabs {
+		h.tlabs[i] = tlab{}
+	}
+}

@@ -1,0 +1,165 @@
+package heap
+
+import (
+	"testing"
+
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+func TestFullCollectReclaimsDeadOldObjects(t *testing.T) {
+	testHeap(t, smallConfig(), func(h *Heap, p *firefly.Proc) {
+		var keep object.OOP
+		h.AddRoot(&keep)
+		keep = h.AllocateNoGC(object.Nil, 2, object.FmtPointers)
+		h.StoreNoCheck(keep, 0, object.FromInt(7))
+		// Dead weight in old space.
+		for i := 0; i < 50; i++ {
+			h.AllocateNoGC(object.Nil, 10, object.FmtPointers)
+		}
+		usedBefore := h.Stats().OldWordsInUse
+		h.FullCollect(p)
+		st := h.Stats()
+		if st.FullCollections != 1 {
+			t.Fatalf("collections = %d", st.FullCollections)
+		}
+		if st.OldWordsInUse >= usedBefore {
+			t.Fatalf("old space did not shrink: %d -> %d", usedBefore, st.OldWordsInUse)
+		}
+		if st.ReclaimedOldWords == 0 {
+			t.Fatal("nothing reclaimed")
+		}
+		if h.Fetch(keep, 0).Int() != 7 {
+			t.Fatal("live object corrupted")
+		}
+		h.CheckInvariants()
+	})
+}
+
+func TestFullCollectSlidesAndRewires(t *testing.T) {
+	testHeap(t, smallConfig(), func(h *Heap, p *firefly.Proc) {
+		// dead, live-a, dead, live-b with live-a -> live-b: after
+		// compaction both move and the reference must follow.
+		h.AllocateNoGC(object.Nil, 20, object.FmtPointers)
+		var a object.OOP
+		h.AddRoot(&a)
+		a = h.AllocateNoGC(object.Nil, 2, object.FmtPointers)
+		h.AllocateNoGC(object.Nil, 20, object.FmtPointers)
+		b := h.AllocateNoGC(object.Nil, 1, object.FmtPointers)
+		h.StoreNoCheck(b, 0, object.FromInt(99))
+		h.Store(p, a, 0, b)
+
+		aBefore := a
+		h.FullCollect(p)
+		if a == aBefore {
+			t.Fatal("object did not slide despite dead predecessor")
+		}
+		moved := h.Fetch(a, 0)
+		if h.Fetch(moved, 0).Int() != 99 {
+			t.Fatal("reference to slid object broken")
+		}
+		h.CheckInvariants()
+	})
+}
+
+func TestFullCollectPreservesNewSpace(t *testing.T) {
+	testHeap(t, smallConfig(), func(h *Heap, p *firefly.Proc) {
+		var root object.OOP
+		h.AddRoot(&root)
+		root = h.Allocate(p, object.Nil, 2, object.FmtPointers)
+		h.StoreNoCheck(root, 0, object.FromInt(123))
+		// An old object referencing a new one (remembered set entry).
+		var old object.OOP
+		h.AddRoot(&old)
+		old = h.AllocateNoGC(object.Nil, 1, object.FmtPointers)
+		h.Store(p, old, 0, root)
+
+		h.FullCollect(p)
+		if h.Fetch(root, 0).Int() != 123 {
+			t.Fatal("new-space object corrupted")
+		}
+		if got := h.Fetch(old, 0); got != root {
+			t.Fatalf("old->new reference broken: %v vs %v", got, root)
+		}
+		// The young object must still be scavengeable afterwards.
+		h.Scavenge(p)
+		if h.Fetch(h.Fetch(old, 0), 0).Int() != 123 {
+			t.Fatal("remembered set lost across full collection")
+		}
+		h.CheckInvariants()
+	})
+}
+
+func TestFullCollectDropsDeadRememberedEntries(t *testing.T) {
+	testHeap(t, smallConfig(), func(h *Heap, p *firefly.Proc) {
+		// A dead old object remembered for referencing new space: the
+		// entry must vanish with its object.
+		dead := h.AllocateNoGC(object.Nil, 1, object.FmtPointers)
+		young := h.Allocate(p, object.Nil, 0, object.FmtPointers)
+		h.Store(p, dead, 0, young)
+		if h.RememberedCount() != 1 {
+			t.Fatal("setup: not remembered")
+		}
+		h.FullCollect(p)
+		if h.RememberedCount() != 0 {
+			t.Fatalf("remembered = %d after full GC", h.RememberedCount())
+		}
+	})
+}
+
+func TestFullCollectChained(t *testing.T) {
+	cfg := smallConfig()
+	testHeap(t, cfg, func(h *Heap, p *firefly.Proc) {
+		var root object.OOP
+		h.AddRoot(&root)
+		// Build, collect, verify repeatedly while creating garbage.
+		for round := 0; round < 5; round++ {
+			root = object.Nil
+			for i := 0; i < 30; i++ {
+				hs := h.Handles(p)
+				n := h.Allocate(p, object.Nil, 2, object.FmtPointers)
+				h.StoreNoCheck(n, 0, object.FromInt(int64(i)))
+				h.Store(p, n, 1, root)
+				root = n
+				hs.Close()
+			}
+			for i := 0; i < 10; i++ {
+				h.AllocateNoGC(object.Nil, 8, object.FmtPointers)
+			}
+			h.FullCollect(p)
+			n := root
+			for i := 29; i >= 0; i-- {
+				if h.Fetch(n, 0).Int() != int64(i) {
+					t.Fatalf("round %d: node %d corrupted", round, i)
+				}
+				n = h.Fetch(n, 1)
+			}
+			h.CheckInvariants()
+		}
+		if h.Stats().FullCollections != 5 {
+			t.Fatalf("collections = %d", h.Stats().FullCollections)
+		}
+	})
+}
+
+func TestFullCollectStallsOthers(t *testing.T) {
+	m := firefly.New(2, firefly.DefaultCosts())
+	h := New(m, smallConfig())
+	m.Start(0, func(p *firefly.Proc) {
+		for i := 0; i < 40; i++ {
+			h.AllocateNoGC(object.Nil, 16, object.FmtPointers)
+		}
+		p.Advance(100)
+		h.FullCollect(p)
+	})
+	m.Start(1, func(p *firefly.Proc) {
+		for i := 0; i < 3000; i++ {
+			p.Advance(1)
+			p.CheckYield()
+		}
+	})
+	m.Run(nil)
+	if m.Proc(1).Stats().Stall == 0 {
+		t.Fatal("full collection did not stall the other processor")
+	}
+}

@@ -1,0 +1,69 @@
+package heap
+
+import (
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// A handlePool is a per-processor stack of GC-protected oops. The
+// scavenger visits every live handle slot and updates it when the object
+// moves, so native (Go) code can hold references across operations that
+// may scavenge. Pools are per processor because processors interleave:
+// one processor's scope must not pop another's handles.
+type handlePool struct {
+	slots []object.OOP
+}
+
+func (hp *handlePool) add(o object.OOP) int {
+	hp.slots = append(hp.slots, o)
+	return len(hp.slots) - 1
+}
+
+func (hp *handlePool) get(i int) object.OOP    { return hp.slots[i] }
+func (hp *handlePool) set(i int, o object.OOP) { hp.slots[i] = o }
+func (hp *handlePool) release(i int)           { hp.slots = hp.slots[:i] }
+func (hp *handlePool) truncate(n int)          { hp.slots = hp.slots[:n] }
+
+// HandleScope protects a group of oops on one processor for the duration
+// of a native operation. Scopes nest in LIFO order per processor.
+type HandleScope struct {
+	hp   *handlePool
+	base int
+}
+
+// Handles opens a handle scope on processor p. Always pair with Close:
+//
+//	hs := h.Handles(p)
+//	defer hs.Close()
+//	obj := hs.Add(obj)          // returns a Handle
+//	...allocate (may scavenge)...
+//	use obj.Get()
+func (h *Heap) Handles(p *firefly.Proc) *HandleScope {
+	id := 0
+	if p != nil {
+		id = p.ID() // nil means bootstrap: no GC possible, pool 0 is fine
+	}
+	hp := h.handlePools[id]
+	return &HandleScope{hp: hp, base: len(hp.slots)}
+}
+
+// Add protects o and returns its handle.
+func (s *HandleScope) Add(o object.OOP) Handle {
+	return Handle{hp: s.hp, idx: s.hp.add(o)}
+}
+
+// Close releases every handle opened in this scope.
+func (s *HandleScope) Close() { s.hp.truncate(s.base) }
+
+// Handle is one protected slot; Get always returns the current (possibly
+// moved) oop.
+type Handle struct {
+	hp  *handlePool
+	idx int
+}
+
+// Get returns the protected oop, updated across scavenges.
+func (h Handle) Get() object.OOP { return h.hp.get(h.idx) }
+
+// Set replaces the protected oop.
+func (h Handle) Set(o object.OOP) { h.hp.set(h.idx, o) }

@@ -1,0 +1,394 @@
+// Package heap implements the MS object memory: a single shared word
+// array holding old space, an eden, and two survivor semispaces, reclaimed
+// by Ungar's Generation Scavenging (the collector used by Berkeley
+// Smalltalk and MS, stop-and-copy with tenuring and no object table).
+//
+// Concurrency follows the paper's strategies: allocation is *serialized*
+// under a virtual spinlock (with the paper's future-work alternative,
+// *replicated* per-processor allocation areas, available as a policy);
+// entry-table maintenance (store checks recording old→new references) is
+// serialized; and scavenging stops the world — the allocating processor
+// becomes the scavenger and every other processor's clock is advanced to
+// the scavenge end, modelling the global-flag + IPC rendezvous.
+package heap
+
+import (
+	"fmt"
+
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// AllocPolicy selects how new-space allocation is synchronized.
+type AllocPolicy int
+
+const (
+	// AllocSerialized is the paper's design: one shared allocation
+	// pointer guarded by a spinlock.
+	AllocSerialized AllocPolicy = iota
+	// AllocPerProcessor gives each processor its own allocation chunk
+	// refilled from eden under the lock (the paper's §4 suggestion that
+	// "replication of the new-object space should have significant
+	// benefits").
+	AllocPerProcessor
+)
+
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocSerialized:
+		return "serialized"
+	case AllocPerProcessor:
+		return "per-processor"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// Config sizes and configures an object memory. All sizes are in 8-byte
+// words.
+type Config struct {
+	// OldWords is the old-space size. The Firefly had 16 MB of shared
+	// memory; the default models a generous old space.
+	OldWords int
+	// EdenWords is the allocation space size (the paper's s, 80 KB).
+	EdenWords int
+	// SurvivorWords is the size of each of the two survivor semispaces.
+	SurvivorWords int
+	// TenureAge is the number of scavenges an object must survive
+	// before being promoted to old space.
+	TenureAge int
+	// Policy selects the allocation synchronization strategy.
+	Policy AllocPolicy
+	// LocksEnabled enables the virtual locks (MS mode). When false
+	// (baseline BS), lock operations cost nothing, modelling the system
+	// without multiprocessor support compiled in.
+	LocksEnabled bool
+	// TortureGC forces a scavenge before every allocation; test use.
+	TortureGC bool
+}
+
+// DefaultConfig returns a config mirroring the paper's memory setup,
+// scaled for 8-byte words: an 80 KB-equivalent eden, two survivor spaces,
+// and a large old space.
+func DefaultConfig() Config {
+	return Config{
+		OldWords:      4 << 20, // 32 MB
+		EdenWords:     64 << 10,
+		SurvivorWords: 16 << 10,
+		TenureAge:     4,
+		Policy:        AllocSerialized,
+		LocksEnabled:  true,
+	}
+}
+
+type space struct {
+	base, limit uint64 // word indices; [base, limit)
+	next        uint64
+}
+
+func (s *space) contains(a uint64) bool { return a >= s.base && a < s.limit }
+func (s *space) free() int              { return int(s.limit - s.next) }
+
+// tlab is a per-processor allocation chunk carved from eden.
+type tlab struct {
+	next, limit uint64
+}
+
+// Stats counts heap activity since creation.
+type Stats struct {
+	Allocations       uint64
+	AllocatedWords    uint64
+	TLABRefills       uint64
+	Scavenges         uint64
+	CopiedObjects     uint64
+	CopiedWords       uint64
+	TenuredObjects    uint64
+	TenuredWords      uint64
+	StoreChecks       uint64 // taken store checks (entry-table recordings)
+	ScavengeTime      firefly.Time
+	LastSurvivors     uint64 // words surviving the most recent scavenge
+	RememberedPeak    int
+	OldWordsInUse     uint64
+	EdenWordsInUse    uint64
+	FullCollections   uint64
+	FullGCTime        firefly.Time
+	ReclaimedOldWords uint64
+}
+
+// Heap is the shared object memory.
+type Heap struct {
+	cfg Config
+	m   *firefly.Machine
+	mem []uint64
+
+	old  space
+	surv [2]space
+	past int // index into surv of the past-survivor space
+	eden space
+
+	newBase uint64 // everything at or above this address is new space
+
+	allocLock *firefly.Spinlock
+	entryLock *firefly.Spinlock
+	tlabs     []tlab
+
+	// remembered is the entry table: old objects that may hold
+	// references into new space.
+	remembered []object.OOP
+
+	rootSlots []*object.OOP
+	rootFuncs []func(visit func(*object.OOP))
+	preGC     []func()
+	postGC    []func()
+
+	handlePools []*handlePool
+
+	// scavenge working state
+	inGC    bool
+	to      *space
+	oldScan uint64
+
+	hashSeed uint32
+
+	stats Stats
+}
+
+// OOMError is thrown (as a panic) when old space is exhausted; the virtual
+// machine recovers it at the interpreter boundary.
+type OOMError struct {
+	NeedWords int
+}
+
+func (e OOMError) Error() string {
+	return fmt.Sprintf("heap: old space exhausted allocating %d words", e.NeedWords)
+}
+
+// New builds an object memory on machine m and creates the three immortal
+// objects nil, true, and false at their fixed addresses (their class words
+// are patched by the image bootstrap).
+func New(m *firefly.Machine, cfg Config) *Heap {
+	if cfg.OldWords < 1024 || cfg.EdenWords < 256 || cfg.SurvivorWords < 128 {
+		panic("heap: configuration too small")
+	}
+	total := object.FirstFreeAddress + cfg.OldWords + 2*cfg.SurvivorWords + cfg.EdenWords
+	h := &Heap{
+		cfg: cfg,
+		m:   m,
+		mem: make([]uint64, total),
+	}
+	base := uint64(object.FirstFreeAddress)
+	h.old = space{base: base, limit: base + uint64(cfg.OldWords), next: base}
+	a := h.old.limit
+	h.surv[0] = space{base: a, limit: a + uint64(cfg.SurvivorWords), next: a}
+	a = h.surv[0].limit
+	h.surv[1] = space{base: a, limit: a + uint64(cfg.SurvivorWords), next: a}
+	a = h.surv[1].limit
+	h.eden = space{base: a, limit: a + uint64(cfg.EdenWords), next: a}
+	h.newBase = h.surv[0].base
+	h.past = 0
+
+	h.allocLock = m.NewSpinlock("alloc", cfg.LocksEnabled)
+	h.entryLock = m.NewSpinlock("entry-table", cfg.LocksEnabled)
+	h.tlabs = make([]tlab, m.NumProcs())
+	h.handlePools = make([]*handlePool, m.NumProcs())
+	for i := range h.handlePools {
+		h.handlePools[i] = &handlePool{}
+	}
+
+	// The immortal objects live below old space at fixed addresses.
+	for _, fixed := range []object.OOP{object.Nil, object.True, object.False} {
+		h.mem[fixed.Addr()] = uint64(object.MakeHeader(2, object.FmtPointers, 0))
+		h.mem[fixed.Addr()+1] = uint64(object.Invalid) // class patched at genesis
+	}
+	return h
+}
+
+// Machine returns the machine this heap charges time to.
+func (h *Heap) Machine() *firefly.Machine { return h.m }
+
+// Config returns the heap's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of heap statistics.
+func (h *Heap) Stats() Stats {
+	s := h.stats
+	s.OldWordsInUse = h.old.next - h.old.base
+	s.EdenWordsInUse = h.eden.next - h.eden.base
+	return s
+}
+
+// InNewSpace reports whether a pointer OOP refers to new space (eden or a
+// survivor semispace).
+func (h *Heap) InNewSpace(o object.OOP) bool {
+	return o.IsPtr() && o.Addr() >= h.newBase
+}
+
+// InOldSpace reports whether a pointer OOP refers to old space or the
+// immortal area.
+func (h *Heap) InOldSpace(o object.OOP) bool {
+	return o.IsPtr() && o != object.Invalid && o.Addr() < h.newBase
+}
+
+// Header returns the object header of o.
+func (h *Heap) Header(o object.OOP) object.Header {
+	return object.Header(h.mem[o.Addr()])
+}
+
+// SetHeader replaces the object header of o.
+func (h *Heap) SetHeader(o object.OOP, hd object.Header) {
+	h.mem[o.Addr()] = uint64(hd)
+}
+
+// ClassOf returns the class word of a pointer OOP. SmallIntegers have no
+// class word; the interpreter maps them to the SmallInteger class.
+func (h *Heap) ClassOf(o object.OOP) object.OOP {
+	return object.OOP(h.mem[o.Addr()+1])
+}
+
+// SetClass stores the class word of o, with a store check (a class in new
+// space referenced from an old object must be remembered).
+func (h *Heap) SetClass(p *firefly.Proc, o, class object.OOP) {
+	h.mem[o.Addr()+1] = uint64(class)
+	h.storeCheck(p, o, class)
+}
+
+// Fetch returns pointer field i (0-based, past the header) of o.
+func (h *Heap) Fetch(o object.OOP, i int) object.OOP {
+	return object.OOP(h.mem[o.Addr()+object.HeaderWords+uint64(i)])
+}
+
+// Store writes pointer field i of o with the generation-scavenging store
+// check: recording an old object that now references new space in the
+// entry table, serialized under the entry-table lock (paper §3.1).
+func (h *Heap) Store(p *firefly.Proc, o object.OOP, i int, v object.OOP) {
+	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = uint64(v)
+	h.storeCheck(p, o, v)
+}
+
+// StoreNoCheck writes pointer field i of o without a store check. Use only
+// when v is provably not a new-space reference (SmallIntegers, nil) or o
+// is provably in new space.
+func (h *Heap) StoreNoCheck(o object.OOP, i int, v object.OOP) {
+	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = uint64(v)
+}
+
+func (h *Heap) storeCheck(p *firefly.Proc, o, v object.OOP) {
+	if o.Addr() >= h.newBase || !h.InNewSpace(v) {
+		return
+	}
+	if p == nil {
+		// Bootstrap-time store; everything lives in old space and no
+		// collection can run, so no entry is needed. Reaching here
+		// with a new-space value would be a genesis bug.
+		panic("heap: store check with no processor")
+	}
+	hd := h.Header(o)
+	if hd.Remembered() {
+		return
+	}
+	h.entryLock.Acquire(p)
+	hd = h.Header(o) // re-read under the lock
+	if !hd.Remembered() {
+		h.SetHeader(o, hd.SetRemembered(true))
+		h.remembered = append(h.remembered, o)
+		if len(h.remembered) > h.stats.RememberedPeak {
+			h.stats.RememberedPeak = len(h.remembered)
+		}
+		h.stats.StoreChecks++
+		p.Advance(h.m.Costs().StoreCheck)
+	}
+	h.entryLock.Release(p)
+}
+
+// RememberedCount returns the current entry-table population.
+func (h *Heap) RememberedCount() int { return len(h.remembered) }
+
+// FetchByte returns byte i of a FmtBytes object.
+func (h *Heap) FetchByte(o object.OOP, i int) byte {
+	w := h.mem[o.Addr()+object.HeaderWords+uint64(i>>3)]
+	return byte(w >> (uint(i&7) * 8))
+}
+
+// StoreByte writes byte i of a FmtBytes object.
+func (h *Heap) StoreByte(o object.OOP, i int, b byte) {
+	idx := o.Addr() + object.HeaderWords + uint64(i>>3)
+	shift := uint(i&7) * 8
+	h.mem[idx] = h.mem[idx]&^(0xFF<<shift) | uint64(b)<<shift
+}
+
+// ByteLen returns the logical byte length of a FmtBytes object.
+func (h *Heap) ByteLen(o object.OOP) int { return h.Header(o).ByteLen() }
+
+// Bytes copies out the contents of a FmtBytes object.
+func (h *Heap) Bytes(o object.OOP) []byte {
+	n := h.ByteLen(o)
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = h.FetchByte(o, i)
+	}
+	return out
+}
+
+// WriteBytes fills a FmtBytes object from b (which must fit exactly or be
+// shorter than the object).
+func (h *Heap) WriteBytes(o object.OOP, b []byte) {
+	if len(b) > h.ByteLen(o) {
+		panic("heap: WriteBytes overflow")
+	}
+	for i, c := range b {
+		h.StoreByte(o, i, c)
+	}
+}
+
+// FetchWord returns raw word i of a FmtWords object.
+func (h *Heap) FetchWord(o object.OOP, i int) uint64 {
+	return h.mem[o.Addr()+object.HeaderWords+uint64(i)]
+}
+
+// StoreWord writes raw word i of a FmtWords object.
+func (h *Heap) StoreWord(o object.OOP, i int, w uint64) {
+	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = w
+}
+
+// FieldCount returns the logical field count of a pointers/words object.
+func (h *Heap) FieldCount(o object.OOP) int { return h.Header(o).FieldCount() }
+
+// IdentityHash returns o's identity hash, assigning one lazily. Hashes are
+// stable across scavenges (they live in the header), which is what lets
+// method dictionaries hash on object identity even though objects move.
+func (h *Heap) IdentityHash(o object.OOP) uint32 {
+	if o.IsInt() {
+		return uint32(o.Int()) & object.MaxHash
+	}
+	hd := h.Header(o)
+	if v := hd.Hash(); v != 0 {
+		return v
+	}
+	h.hashSeed++
+	v := h.hashSeed & object.MaxHash
+	if v == 0 {
+		h.hashSeed++
+		v = 1
+	}
+	h.SetHeader(o, hd.SetHash(v))
+	return v
+}
+
+// AddRoot registers a VM-level slot holding an OOP the scavenger must
+// treat as a root and update when the object moves.
+func (h *Heap) AddRoot(slot *object.OOP) {
+	h.rootSlots = append(h.rootSlots, slot)
+}
+
+// AddRootFunc registers a callback that visits a dynamic set of root
+// slots (for example a symbol table held in a Go slice).
+func (h *Heap) AddRootFunc(f func(visit func(*object.OOP))) {
+	h.rootFuncs = append(h.rootFuncs, f)
+}
+
+// OnPreScavenge registers a hook run before each scavenge (for example to
+// flush method caches holding raw oops).
+func (h *Heap) OnPreScavenge(f func()) { h.preGC = append(h.preGC, f) }
+
+// OnPostScavenge registers a hook run after each scavenge.
+func (h *Heap) OnPostScavenge(f func()) { h.postGC = append(h.postGC, f) }

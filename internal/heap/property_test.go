@@ -1,0 +1,206 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// buildRandomGraph allocates n objects with pseudo-random shapes and
+// wiring (driven by seed), returning the root. Objects mix pointer
+// fields (to earlier objects or SmallIntegers) and byte payloads.
+func buildRandomGraph(h *Heap, p *firefly.Proc, seed int64, n int) object.OOP {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]object.OOP, 0, n)
+	h.AddRootFunc(func(visit func(*object.OOP)) {
+		for i := range nodes {
+			visit(&nodes[i])
+		}
+	})
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			// A byte object.
+			size := rng.Intn(24)
+			o := h.Allocate(p, object.Nil, size, object.FmtBytes)
+			for j := 0; j < size; j++ {
+				h.StoreByte(o, j, byte(rng.Intn(256)))
+			}
+			nodes = append(nodes, o)
+			continue
+		}
+		fields := 1 + rng.Intn(5)
+		o := h.Allocate(p, object.Nil, fields, object.FmtPointers)
+		for j := 0; j < fields; j++ {
+			switch {
+			case len(nodes) > 0 && rng.Intn(2) == 0:
+				h.Store(p, o, j, nodes[rng.Intn(len(nodes))])
+			default:
+				h.Store(p, o, j, object.FromInt(int64(rng.Intn(1000))))
+			}
+		}
+		nodes = append(nodes, o)
+	}
+	// Wire a few random back-edges (cycles).
+	for i := 0; i < n/4; i++ {
+		a := nodes[rng.Intn(len(nodes))]
+		if h.Header(a).Format() != object.FmtPointers {
+			continue
+		}
+		b := nodes[rng.Intn(len(nodes))]
+		h.Store(p, a, rng.Intn(h.Header(a).FieldCount()), b)
+	}
+	root := h.Allocate(p, object.Nil, len(nodes), object.FmtPointers)
+	for i, nd := range nodes {
+		h.Store(p, root, i, nd)
+	}
+	nodes = append(nodes[:0], root)
+	return root
+}
+
+// signature walks the graph from root producing a structural trace that
+// is invariant under object motion (field values, byte contents, and
+// visit order; identity via discovery index).
+func signature(h *Heap, root object.OOP) []int64 {
+	index := map[object.OOP]int{}
+	var sig []int64
+	var walk func(o object.OOP)
+	walk = func(o object.OOP) {
+		if o.IsInt() {
+			sig = append(sig, o.Int())
+			return
+		}
+		if o == object.Nil {
+			sig = append(sig, -1)
+			return
+		}
+		if i, seen := index[o]; seen {
+			sig = append(sig, -1000-int64(i))
+			return
+		}
+		index[o] = len(index)
+		hd := h.Header(o)
+		sig = append(sig, int64(hd.SizeWords()), int64(hd.Format()))
+		switch hd.Format() {
+		case object.FmtBytes:
+			for i := 0; i < hd.ByteLen(); i++ {
+				sig = append(sig, int64(h.FetchByte(o, i)))
+			}
+		case object.FmtPointers:
+			for i := 0; i < hd.BodyWords(); i++ {
+				walk(h.Fetch(o, i))
+			}
+		}
+	}
+	walk(root)
+	return sig
+}
+
+func sigEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyGraphSurvivesCollections: any randomly-shaped object graph
+// is structurally identical after scavenges and a full collection.
+func TestPropertyGraphSurvivesCollections(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint8) bool {
+		n := 5 + int(sizeRaw%60)
+		ok := true
+		m := firefly.New(1, firefly.DefaultCosts())
+		h := New(m, smallConfig())
+		m.Start(0, func(p *firefly.Proc) {
+			var root object.OOP
+			h.AddRoot(&root)
+			root = buildRandomGraph(h, p, seed, n)
+			before := signature(h, root)
+			h.Scavenge(p)
+			if !sigEqual(before, signature(h, root)) {
+				ok = false
+				return
+			}
+			h.Scavenge(p)
+			h.FullCollect(p)
+			if !sigEqual(before, signature(h, root)) {
+				ok = false
+				return
+			}
+			h.CheckInvariants()
+		})
+		m.Run(nil)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTortureAllocation: under scavenge-on-every-allocation, a
+// random graph built incrementally stays intact.
+func TestPropertyTortureAllocation(t *testing.T) {
+	prop := func(seed int64) bool {
+		cfg := smallConfig()
+		cfg.TortureGC = true
+		ok := true
+		m := firefly.New(1, firefly.DefaultCosts())
+		h := New(m, cfg)
+		m.Start(0, func(p *firefly.Proc) {
+			var root object.OOP
+			h.AddRoot(&root)
+			root = buildRandomGraph(h, p, seed, 25)
+			before := signature(h, root)
+			h.Allocate(p, object.Nil, 4, object.FmtPointers) // one more torture GC
+			ok = sigEqual(before, signature(h, root))
+		})
+		m.Run(nil)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyByteContents: byte objects of every length round-trip
+// through a move.
+func TestPropertyByteContents(t *testing.T) {
+	prop := func(data []byte) bool {
+		ok := true
+		m := firefly.New(1, firefly.DefaultCosts())
+		h := New(m, smallConfig())
+		m.Start(0, func(p *firefly.Proc) {
+			if len(data) > 200 {
+				data = data[:200]
+			}
+			var o object.OOP
+			h.AddRoot(&o)
+			o = h.Allocate(p, object.Nil, len(data), object.FmtBytes)
+			h.WriteBytes(o, data)
+			h.Scavenge(p)
+			got := h.Bytes(o)
+			if len(got) != len(data) {
+				ok = false
+				return
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		m.Run(nil)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package heap
+
+import (
+	"fmt"
+
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// SnapshotState is the serializable state of an object memory: the
+// geometry, the used portion of every space, and the entry table.
+// Object addresses are absolute, so a snapshot restores only into a
+// heap with identical geometry.
+type SnapshotState struct {
+	Config Config
+
+	OldUsed  []uint64
+	PastUsed []uint64
+	EdenUsed []uint64
+	Past     int
+
+	Remembered []object.OOP
+	HashSeed   uint32
+}
+
+// SnapshotState captures the heap for serialization. The caller must
+// have quiesced the mutators (all interpreter registers flushed into
+// heap objects).
+func (h *Heap) SnapshotState() *SnapshotState {
+	past := &h.surv[h.past]
+	s := &SnapshotState{
+		Config:     h.cfg,
+		OldUsed:    append([]uint64(nil), h.mem[:h.old.next]...),
+		PastUsed:   append([]uint64(nil), h.mem[past.base:past.next]...),
+		EdenUsed:   append([]uint64(nil), h.mem[h.eden.base:h.eden.next]...),
+		Past:       h.past,
+		Remembered: append([]object.OOP(nil), h.remembered...),
+		HashSeed:   h.hashSeed,
+	}
+	return s
+}
+
+// RestoreHeap builds a heap on machine m from a snapshot. The returned
+// heap has the snapshot's geometry, contents, and entry table; roots
+// must be re-registered by the caller (the VM layer).
+func RestoreHeap(m *firefly.Machine, s *SnapshotState) (*Heap, error) {
+	h := New(m, s.Config)
+	if len(s.OldUsed) > int(h.old.limit) {
+		return nil, fmt.Errorf("heap: snapshot old space (%d words) exceeds geometry", len(s.OldUsed))
+	}
+	copy(h.mem, s.OldUsed)
+	h.old.next = uint64(len(s.OldUsed))
+	if h.old.next < h.old.base {
+		h.old.next = h.old.base
+	}
+	h.past = s.Past
+	past := &h.surv[h.past]
+	if len(s.PastUsed) > int(past.limit-past.base) {
+		return nil, fmt.Errorf("heap: snapshot survivor space too large")
+	}
+	copy(h.mem[past.base:], s.PastUsed)
+	past.next = past.base + uint64(len(s.PastUsed))
+	if len(s.EdenUsed) > int(h.eden.limit-h.eden.base) {
+		return nil, fmt.Errorf("heap: snapshot eden too large")
+	}
+	copy(h.mem[h.eden.base:], s.EdenUsed)
+	h.eden.next = h.eden.base + uint64(len(s.EdenUsed))
+	h.remembered = append([]object.OOP(nil), s.Remembered...)
+	h.hashSeed = s.HashSeed
+	return h, nil
+}

@@ -1,0 +1,225 @@
+package image
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyIntegerPrintParseRoundTrip: for any SmallInteger within a
+// broad range, `n printString` evaluates back to n, and printing in any
+// base re-parses consistently.
+func TestPropertyIntegerPrintParseRoundTrip(t *testing.T) {
+	vm := sharedImage(t)
+	prop := func(raw int32) bool {
+		n := int64(raw)
+		got, err := EvaluateToString(vm, fmt.Sprintf("%d printString asNumber", n))
+		if err != nil {
+			t.Logf("%d: %v", n, err)
+			return false
+		}
+		return got == fmt.Sprintf("%d", n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyIntegerArithmeticMatchesGo: Smalltalk SmallInteger
+// arithmetic agrees with Go for +, -, *, //, \\ (floored division).
+func TestPropertyIntegerArithmeticMatchesGo(t *testing.T) {
+	vm := sharedImage(t)
+	floorDiv := func(a, b int64) int64 {
+		q := a / b
+		if a%b != 0 && (a < 0) != (b < 0) {
+			q--
+		}
+		return q
+	}
+	prop := func(ar, br int16) bool {
+		a, b := int64(ar), int64(br)
+		if b == 0 {
+			b = 1
+		}
+		src := fmt.Sprintf("Array with: %d + %d with: %d - %d with: %d * %d with: (%d // %d) with: (%d \\\\ %d)",
+			a, b, a, b, a, b, a, b, a, b)
+		got, err := EvaluateToString(vm, src)
+		if err != nil {
+			t.Logf("%s: %v", src, err)
+			return false
+		}
+		want := fmt.Sprintf("(%d %d %d %d %d )",
+			a+b, a-b, a*b, floorDiv(a, b), a-floorDiv(a, b)*b)
+		if got != want {
+			t.Logf("a=%d b=%d: got %q want %q", a, b, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stRandomWord makes an identifier-safe lowercase token.
+func stRandomWord(rng *rand.Rand) string {
+	n := 1 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// TestPropertyDictionaryMatchesGoMap: a random sequence of at:put:,
+// removeKey:, and lookups on a Smalltalk Dictionary agrees with a Go
+// map, including final size.
+func TestPropertyDictionaryMatchesGoMap(t *testing.T) {
+	vm := sharedImage(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := map[string]int{}
+		var ops []string
+		keys := make([]string, 4+rng.Intn(5))
+		for i := range keys {
+			keys[i] = stRandomWord(rng) + fmt.Sprint(i)
+		}
+		for i := 0; i < 30; i++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Intn(100)
+				model[k] = v
+				ops = append(ops, fmt.Sprintf("d at: #%s put: %d.", k, v))
+			case 2:
+				delete(model, k)
+				ops = append(ops, fmt.Sprintf("d removeKey: #%s ifAbsent: [nil].", k))
+			}
+		}
+		// Final check expression: sum of present values plus size.
+		sum := 0
+		for _, v := range model {
+			sum += v
+		}
+		src := "| d | d := Dictionary new. " + strings.Join(ops, " ") +
+			" (d inject: 0 into: [:acc :v | acc + v]) + (d size * 1000)"
+		got, err := EvaluateToString(vm, src)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := fmt.Sprint(sum + len(model)*1000)
+		if got != want {
+			t.Logf("seed %d: got %s want %s", seed, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOrderedCollectionMatchesSlice: random add/removeFirst/
+// removeLast sequences agree with a Go slice model.
+func TestPropertyOrderedCollectionMatchesSlice(t *testing.T) {
+	vm := sharedImage(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var model []int
+		var ops []string
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Intn(100)
+				model = append(model, v)
+				ops = append(ops, fmt.Sprintf("oc add: %d.", v))
+			case 2:
+				if len(model) > 0 {
+					model = model[1:]
+					ops = append(ops, "oc removeFirst.")
+				}
+			case 3:
+				if len(model) > 0 {
+					model = model[:len(model)-1]
+					ops = append(ops, "oc removeLast.")
+				}
+			}
+		}
+		src := "| oc | oc := OrderedCollection new. " + strings.Join(ops, " ") + " oc asArray"
+		got, err := EvaluateToString(vm, src)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		var b strings.Builder
+		b.WriteString("(")
+		for _, v := range model {
+			fmt.Fprintf(&b, "%d ", v)
+		}
+		b.WriteString(")")
+		if got != b.String() {
+			t.Logf("seed %d: got %s want %s", seed, got, b.String())
+		}
+		return got == b.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStringRoundTrip: any string over a safe alphabet survives
+// printString re-evaluation (with quote doubling).
+func TestPropertyStringRoundTrip(t *testing.T) {
+	vm := sharedImage(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := "abcXYZ 09_'!?.,"
+		n := rng.Intn(20)
+		raw := make([]byte, n)
+		for i := range raw {
+			raw[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := string(raw)
+		lit := "'" + strings.ReplaceAll(s, "'", "''") + "'"
+		// The chunk layer is not involved for Evaluate, but avoid the
+		// bang anyway when embedding in this test corpus.
+		got, err := EvaluateToString(vm, lit+" size")
+		if err != nil {
+			t.Logf("%q: %v", s, err)
+			return false
+		}
+		if got != fmt.Sprint(len(s)) {
+			return false
+		}
+		printed, err := EvaluateToString(vm, lit)
+		if err != nil {
+			return false
+		}
+		return printed == "'"+strings.ReplaceAll(s, "'", "''")+"'"
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySymbolInterning: equal-text symbols are identical objects;
+// different texts are not.
+func TestPropertySymbolInterning(t *testing.T) {
+	vm := sharedImage(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := stRandomWord(rng)
+		b := stRandomWord(rng)
+		src := fmt.Sprintf("Array with: ('%s' asSymbol == '%s' asSymbol) with: ('%s' asSymbol == '%sx' asSymbol)",
+			a, a, b, b)
+		got, err := EvaluateToString(vm, src)
+		if err != nil {
+			return false
+		}
+		return got == "(true false )"
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

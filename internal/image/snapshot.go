@@ -1,0 +1,77 @@
+package image
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"mst/internal/firefly"
+	"mst/internal/heap"
+	"mst/internal/interp"
+)
+
+// snapshotMagic identifies MS image files.
+const snapshotMagic = "MS-IMAGE-1"
+
+// snapshotFile is the on-disk image: the heap, the VM tables, and the
+// VM configuration the image was running under.
+type snapshotFile struct {
+	Magic  string
+	Heap   *heap.SnapshotState
+	Tables *interp.VMTables
+	VMCfg  interp.Config
+}
+
+// WriteSnapshot serializes a quiesced image to w. Callers inside the
+// machine (the snapshot primitive) have already parked every Process;
+// Go-side callers should use core.System.SaveImage, which quiesces
+// first.
+func WriteSnapshot(vm *interp.VM, w io.Writer) error {
+	f := snapshotFile{
+		Magic:  snapshotMagic,
+		Heap:   vm.H.SnapshotState(),
+		Tables: vm.SnapshotTables(),
+		VMCfg:  vm.Cfg,
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// ReadSnapshot rebuilds an image from r on a fresh machine with nprocs
+// processors. The loaded image's ready queue (background Processes, and
+// the snapshotting Process if the snapshot was taken from Smalltalk)
+// resumes when the machine runs.
+func ReadSnapshot(m *firefly.Machine, r io.Reader) (*interp.VM, error) {
+	var f snapshotFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("image: corrupt snapshot: %w", err)
+	}
+	if f.Magic != snapshotMagic {
+		return nil, fmt.Errorf("image: not an MS image (magic %q)", f.Magic)
+	}
+	h, err := heap.RestoreHeap(m, f.Heap)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := interp.RestoreVM(m, h, f.VMCfg, f.Tables)
+	if err != nil {
+		return nil, err
+	}
+	installSnapshotPrim(vm)
+	return vm, nil
+}
+
+// installSnapshotPrim hooks primitive 139 up to a file-writing snapshot.
+func installSnapshotPrim(vm *interp.VM) {
+	vm.SetSnapshotFunc(func(vm *interp.VM, path string) error {
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := WriteSnapshot(vm, out); err != nil {
+			return err
+		}
+		return out.Close()
+	})
+}

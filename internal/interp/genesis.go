@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"mst/internal/bytecode"
+	"mst/internal/object"
+)
+
+// classSpec declares one kernel class created at genesis.
+type classSpec struct {
+	slot     *object.OOP
+	name     string
+	super    *object.OOP // nil for Object
+	instVars []string
+	kind     ClassKind
+}
+
+// Genesis creates the kernel object model: the class hierarchy with full
+// metaclasses, the system dictionary, the character table, the
+// ProcessorScheduler with its single ready queue, and the input
+// semaphore. Everything is allocated in old space (immortal for the
+// session), so genesis cannot trigger a scavenge.
+func (vm *VM) Genesis() {
+	s := &vm.Specials
+
+	specs := []classSpec{
+		{&s.Object, "Object", nil, nil, KindFixed},
+		{&s.Behavior, "Behavior", &s.Object,
+			[]string{"superclass", "methodDict", "format", "name", "instVarNames",
+				"organization", "subclasses", "category", "comment", "thisClass"},
+			KindFixed},
+		{&s.Class, "Class", &s.Behavior, nil, KindFixed},
+		{&s.Metaclass, "Metaclass", &s.Behavior, nil, KindFixed},
+		{&s.UndefinedObject, "UndefinedObject", &s.Object, nil, KindFixed},
+		{&s.Boolean, "Boolean", &s.Object, nil, KindFixed},
+		{&s.TrueCls, "True", &s.Boolean, nil, KindFixed},
+		{&s.FalseCls, "False", &s.Boolean, nil, KindFixed},
+		{&s.Magnitude, "Magnitude", &s.Object, nil, KindFixed},
+		{&s.Character, "Character", &s.Magnitude, []string{"value"}, KindFixed},
+		{&s.Number, "Number", &s.Magnitude, nil, KindFixed},
+		{&s.SmallInteger, "SmallInteger", &s.Number, nil, KindFixed},
+		{&s.Float, "Float", &s.Number, nil, KindIdxWords},
+		{&s.Collection, "Collection", &s.Object, nil, KindFixed},
+		{&s.SequenceableCollection, "SequenceableCollection", &s.Collection, nil, KindFixed},
+		{&s.ArrayedCollection, "ArrayedCollection", &s.SequenceableCollection, nil, KindFixed},
+		{&s.Array, "Array", &s.ArrayedCollection, nil, KindIdxPointers},
+		{&s.ByteArray, "ByteArray", &s.ArrayedCollection, nil, KindIdxBytes},
+		{&s.String, "String", &s.ArrayedCollection, nil, KindIdxChars},
+		{&s.Symbol, "Symbol", &s.String, nil, KindIdxChars},
+		{&s.Association, "Association", &s.Object, []string{"key", "value"}, KindFixed},
+		{&s.Dictionary, "Dictionary", &s.Collection, []string{"tally", "array"}, KindFixed},
+		{&s.SystemDictionary, "SystemDictionary", &s.Dictionary, nil, KindFixed},
+		{&s.MethodDictionary, "MethodDictionary", &s.Collection,
+			[]string{"tally", "keys", "values"}, KindFixed},
+		{&s.CompiledMethod, "CompiledMethod", &s.Object,
+			[]string{"header", "literals", "bytecodes", "selector", "methodClass",
+				"category", "source"},
+			KindFixed},
+		{&s.MethodContext, "MethodContext", &s.Object,
+			[]string{"sender", "pc", "stackp", "method", "receiver"}, KindIdxPointers},
+		{&s.BlockContext, "BlockContext", &s.Object,
+			[]string{"caller", "pc", "stackp", "home", "info", "initialPC"}, KindIdxPointers},
+		{&s.LinkedList, "LinkedList", &s.SequenceableCollection,
+			[]string{"firstLink", "lastLink"}, KindFixed},
+		{&s.Semaphore, "Semaphore", &s.LinkedList, []string{"excessSignals"}, KindFixed},
+		{&s.Process, "Process", &s.Object,
+			[]string{"suspendedContext", "priority", "myList", "nextLink", "state", "name"},
+			KindFixed},
+		{&s.ProcessorScheduler, "ProcessorScheduler", &s.Object,
+			[]string{"quiescentProcessLists", "activeProcess"}, KindFixed},
+		{&s.Message, "Message", &s.Object, []string{"selector", "arguments"}, KindFixed},
+		{&s.Delay, "Delay", &s.Object, []string{"duration"}, KindFixed},
+	}
+
+	// Pass 1: allocate bare class objects so every Specials slot is
+	// valid before anything (symbols!) is created.
+	for _, sp := range specs {
+		*sp.slot = vm.H.AllocateNoGC(object.Invalid, ClassInstSize, object.FmtPointers)
+	}
+
+	// The system dictionary exists before class registration.
+	s.SmalltalkDict = vm.H.AllocateNoGC(s.SystemDictionary, SysDictInstSize, object.FmtPointers)
+	arr := vm.H.AllocateNoGC(s.Array, 512, object.FmtPointers)
+	vm.H.StoreNoCheck(s.SmalltalkDict, SDTally, object.FromInt(0))
+	vm.H.StoreNoCheck(s.SmalltalkDict, SDArray, arr)
+
+	// Pass 2: wire superclasses, formats, names, metaclasses.
+	instSizes := map[*object.OOP]int{}
+	metas := map[*object.OOP]object.OOP{}
+	for _, sp := range specs {
+		cls := *sp.slot
+		superOOP := object.Nil
+		superSize := 0
+		if sp.super != nil {
+			superOOP = *sp.super
+			superSize = instSizes[sp.super]
+		}
+		instSize := superSize + len(sp.instVars)
+		instSizes[sp.slot] = instSize
+
+		vm.H.StoreNoCheck(cls, ClsSuperclass, superOOP)
+		vm.H.StoreNoCheck(cls, ClsMethodDict, vm.newMethodDictNoGC())
+		vm.H.StoreNoCheck(cls, ClsFormat, EncodeFormat(instSize, sp.kind))
+		vm.H.StoreNoCheck(cls, ClsName, vm.InternSymbol(nil, sp.name))
+		ivn := vm.H.AllocateNoGC(s.Array, len(sp.instVars), object.FmtPointers)
+		for i, n := range sp.instVars {
+			vm.H.StoreNoCheck(ivn, i, vm.allocString(nil, s.String, n))
+		}
+		vm.H.StoreNoCheck(cls, ClsInstVarNames, ivn)
+		vm.H.StoreNoCheck(cls, ClsOrganization, vm.allocString(nil, s.String, ""))
+		vm.H.StoreNoCheck(cls, ClsCategory, vm.allocString(nil, s.String, "Kernel"))
+		vm.H.StoreNoCheck(cls, ClsComment, vm.allocString(nil, s.String, ""))
+		vm.H.StoreNoCheck(cls, ClsThisClass, object.Nil)
+
+		// Metaclass: an instance of Metaclass describing cls.
+		meta := vm.H.AllocateNoGC(s.Metaclass, ClassInstSize, object.FmtPointers)
+		metas[sp.slot] = meta
+		vm.H.SetClass(nil, cls, meta)
+		vm.H.StoreNoCheck(meta, ClsMethodDict, vm.newMethodDictNoGC())
+		vm.H.StoreNoCheck(meta, ClsFormat, EncodeFormat(ClassInstSize, KindFixed))
+		vm.H.StoreNoCheck(meta, ClsName, vm.InternSymbol(nil, sp.name+" class"))
+		vm.H.StoreNoCheck(meta, ClsInstVarNames, vm.H.AllocateNoGC(s.Array, 0, object.FmtPointers))
+		vm.H.StoreNoCheck(meta, ClsOrganization, vm.allocString(nil, s.String, ""))
+		vm.H.StoreNoCheck(meta, ClsCategory, vm.allocString(nil, s.String, "Kernel"))
+		vm.H.StoreNoCheck(meta, ClsComment, vm.allocString(nil, s.String, ""))
+		vm.H.StoreNoCheck(meta, ClsThisClass, cls)
+		vm.H.StoreNoCheck(meta, ClsSubclasses, vm.H.AllocateNoGC(s.Array, 0, object.FmtPointers))
+
+		// Register the class as a global.
+		vm.SysDictDefine(nil, sp.name, cls)
+	}
+
+	// Metaclass superclass chain: Foo class -> Super class; Object
+	// class -> Class. Every metaclass is an instance of Metaclass.
+	// (sp.super is the same Specials-slot pointer the superclass spec
+	// used, so it keys the metas map directly.)
+	for _, sp := range specs {
+		meta := metas[sp.slot]
+		if sp.super == nil {
+			vm.H.StoreNoCheck(meta, ClsSuperclass, s.Class)
+		} else {
+			vm.H.StoreNoCheck(meta, ClsSuperclass, metas[sp.super])
+		}
+	}
+
+	// Subclass arrays.
+	children := map[*object.OOP][]object.OOP{}
+	for _, sp := range specs {
+		if sp.super != nil {
+			children[sp.super] = append(children[sp.super], *sp.slot)
+		}
+	}
+	for _, sp := range specs {
+		kids := children[sp.slot]
+		a := vm.H.AllocateNoGC(s.Array, len(kids), object.FmtPointers)
+		for i, k := range kids {
+			vm.H.StoreNoCheck(a, i, k)
+		}
+		vm.H.StoreNoCheck(*sp.slot, ClsSubclasses, a)
+	}
+
+	// Patch the immortal objects' classes.
+	vm.H.SetClass(nil, object.Nil, s.UndefinedObject)
+	vm.H.SetClass(nil, object.True, s.TrueCls)
+	vm.H.SetClass(nil, object.False, s.FalseCls)
+
+	// Character table.
+	vm.charTable = make([]object.OOP, 256)
+	for i := range vm.charTable {
+		c := vm.H.AllocateNoGC(s.Character, CharInstSize, object.FmtPointers)
+		vm.H.StoreNoCheck(c, CharValue, object.FromInt(int64(i)))
+		vm.charTable[i] = c
+	}
+
+	// The ProcessorScheduler with its single ready queue (one
+	// LinkedList per priority), and the input semaphore.
+	sched := vm.H.AllocateNoGC(s.ProcessorScheduler, SchedInstSize, object.FmtPointers)
+	lists := vm.H.AllocateNoGC(s.Array, NumPriorities, object.FmtPointers)
+	for i := 0; i < NumPriorities; i++ {
+		vm.H.StoreNoCheck(lists, i, vm.H.AllocateNoGC(s.LinkedList, LinkedListInstSize, object.FmtPointers))
+	}
+	vm.H.StoreNoCheck(sched, SchedLists, lists)
+	s.Scheduler = sched
+	vm.SysDictDefine(nil, "Processor", sched)
+	vm.SysDictDefine(nil, "Smalltalk", s.SmalltalkDict)
+
+	s.InputSem = vm.H.AllocateNoGC(s.Semaphore, SemInstSize, object.FmtPointers)
+	vm.H.StoreNoCheck(s.InputSem, SemExcess, object.FromInt(0))
+	vm.SysDictDefine(nil, "InputSemaphore", s.InputSem)
+
+	// Selector symbols the VM itself sends.
+	s.SymDNU = vm.InternSymbol(nil, "doesNotUnderstand:")
+	s.SymMustBeBool = vm.InternSymbol(nil, "mustBeBoolean")
+	s.SymCannotReturn = vm.InternSymbol(nil, "cannotReturn:")
+	s.SymDoIt = vm.InternSymbol(nil, "DoIt")
+
+	// Pre-intern the special-send selectors so the interpreter's
+	// fallback path never allocates during dispatch.
+	vm.specialSelectors = make([]object.OOP, len(bytecode.SpecialSends))
+	for i, sp := range bytecode.SpecialSends {
+		vm.specialSelectors[i] = vm.InternSymbol(nil, sp.Selector)
+	}
+}
+
+// newMethodDictNoGC allocates an empty method dictionary in old space.
+func (vm *VM) newMethodDictNoGC() object.OOP {
+	const capacity = 8
+	d := vm.H.AllocateNoGC(vm.Specials.MethodDictionary, MethodDictInstSize, object.FmtPointers)
+	vm.H.StoreNoCheck(d, MDTally, object.FromInt(0))
+	vm.H.StoreNoCheck(d, MDKeys, vm.H.AllocateNoGC(vm.Specials.Array, capacity, object.FmtPointers))
+	vm.H.StoreNoCheck(d, MDValues, vm.H.AllocateNoGC(vm.Specials.Array, capacity, object.FmtPointers))
+	return d
+}

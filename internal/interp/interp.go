@@ -1,0 +1,413 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"mst/internal/bytecode"
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// Interp is one replicated interpreter: the paper's unit of parallelism
+// ("we obtain parallelism by replicating the interpreter itself").
+// Each interpreter runs on one virtual processor and executes one
+// Smalltalk Process at a time; its registers are GC roots.
+type Interp struct {
+	vm *VM
+	p  *firefly.Proc
+
+	// Registers (roots). ctx is the active context; method/receiver/
+	// bytes/home are caches derived from it; proc is the Smalltalk
+	// Process being executed.
+	ctx      object.OOP
+	method   object.OOP
+	receiver object.OOP
+	bytes    object.OOP
+	home     object.OOP // == ctx for method contexts
+	proc     object.OOP
+
+	pc      int // index into the bytecode array
+	sp      int // slots used in the context's slot area (temps included)
+	base    int // first slot field index (CtxFixed or BCtxFixed)
+	slotCap int // total slot fields in ctx
+	isBlock bool
+
+	// busAccum accrues fractional memory-bus contention penalties.
+	busAccum firefly.Time
+
+	// Per-processor replicas (paper §3.2).
+	cache     []mcEntry    // method cache (CacheReplicated)
+	freeSmall []object.OOP // free context lists (FreeCtxPerProcessor);
+	freeLarge []object.OOP // NOT roots: flushed at every scavenge
+}
+
+func newInterp(vm *VM, p *firefly.Proc) *Interp {
+	in := &Interp{vm: vm, p: p, proc: object.Nil, ctx: object.Nil,
+		method: object.Nil, receiver: object.Nil, bytes: object.Nil, home: object.Nil}
+	if vm.Cfg.MethodCache == CacheReplicated {
+		in.cache = make([]mcEntry, cacheSize)
+	}
+	h := vm.H
+	h.AddRoot(&in.ctx)
+	h.AddRoot(&in.method)
+	h.AddRoot(&in.receiver)
+	h.AddRoot(&in.bytes)
+	h.AddRoot(&in.home)
+	h.AddRoot(&in.proc)
+	h.OnPostScavenge(in.flushFreeContexts)
+	return in
+}
+
+// Proc returns the virtual processor this interpreter runs on.
+func (in *Interp) Proc() *firefly.Proc { return in.p }
+
+// CurrentProcess returns the Smalltalk Process this interpreter is
+// executing (nil oop when idle). Only the interpreter knows this — the
+// paper's reorganization of activeProcess.
+func (in *Interp) CurrentProcess() object.OOP { return in.proc }
+
+// setProc switches the current Process register, maintaining the
+// machine's count of actively-executing processors (the memory-bus
+// contention model's input).
+func (in *Interp) setProc(o object.OOP) {
+	in.proc = o
+	in.p.SetActive(o != object.Nil)
+}
+
+func (in *Interp) flushCache() {
+	for i := range in.cache {
+		in.cache[i] = mcEntry{}
+	}
+}
+
+func (in *Interp) flushFreeContexts() {
+	in.freeSmall = in.freeSmall[:0]
+	in.freeLarge = in.freeLarge[:0]
+}
+
+// Run is the interpreter's work function: quanta until shutdown. A
+// panic (VM error in strict mode, heap exhaustion) stops this
+// interpreter and fails any pending evaluation instead of crashing the
+// host process.
+func (in *Interp) Run() {
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("interpreter %d died: %v", in.p.ID(), r)
+			in.vm.errors = append(in.vm.errors, msg)
+			in.vm.evalFailed = msg
+			in.vm.evalDone = true
+			in.vm.dead = true
+		}
+	}()
+	for !in.p.Stopped() {
+		in.Quantum()
+	}
+}
+
+// Quantum executes a bounded batch of bytecodes (or an idle poll).
+func (in *Interp) Quantum() {
+	// Interpreter 0 drains Go-side work queued by VM.Do.
+	if in == in.vm.Interps[0] && len(in.vm.pendingWork) > 0 {
+		w := in.vm.pendingWork[0]
+		in.vm.pendingWork = in.vm.pendingWork[1:]
+		w(in.p)
+	}
+	in.pollDevices()
+	if in.proc == object.Nil {
+		in.idleStep()
+		return
+	}
+	// Another processor may have suspended or terminated our Process
+	// asynchronously (the paper's ProcessorScheduler hazards).
+	if st := in.vm.H.Fetch(in.proc, PrState); st.Int() != StateRunning {
+		in.abandonCurrent()
+		return
+	}
+	n := in.vm.Cfg.QuantumBytecodes
+	for i := 0; i < n; i++ {
+		in.p.CheckYield()
+		if in.p.Stopped() || in.proc == object.Nil {
+			return
+		}
+		in.step()
+	}
+	in.p.CheckYield()
+}
+
+// fetchByte reads the next code byte.
+func (in *Interp) fetchByte() int {
+	b := in.vm.H.FetchByte(in.bytes, in.pc)
+	in.pc++
+	return int(b)
+}
+
+func (in *Interp) fetchI8() int {
+	v := in.fetchByte()
+	return int(int8(v))
+}
+
+func (in *Interp) fetchI16() int {
+	hi := in.fetchByte()
+	lo := in.fetchByte()
+	return int(int16(uint16(hi)<<8 | uint16(lo)))
+}
+
+func (in *Interp) fetchU16() int {
+	hi := in.fetchByte()
+	lo := in.fetchByte()
+	return int(uint16(hi)<<8 | uint16(lo))
+}
+
+// ---- Operand stack. Slots above sp are always nil so the scavenger
+// can scan whole contexts without knowing sp. ----
+
+func (in *Interp) push(v object.OOP) {
+	if in.sp >= in.slotCap {
+		in.vm.vmError("context stack overflow (sp=%d cap=%d)", in.sp, in.slotCap)
+		in.terminateCurrentProcess()
+		return
+	}
+	in.vm.H.Store(in.p, in.ctx, in.base+in.sp, v)
+	in.sp++
+}
+
+func (in *Interp) pop() object.OOP {
+	in.sp--
+	idx := in.base + in.sp
+	v := in.vm.H.Fetch(in.ctx, idx)
+	in.vm.H.StoreNoCheck(in.ctx, idx, object.Nil)
+	return v
+}
+
+// stackAt peeks n slots below the top (0 = top).
+func (in *Interp) stackAt(n int) object.OOP {
+	return in.vm.H.Fetch(in.ctx, in.base+in.sp-1-n)
+}
+
+// setStackTop replaces the top of stack.
+func (in *Interp) setStackTop(v object.OOP) {
+	in.vm.H.Store(in.p, in.ctx, in.base+in.sp-1, v)
+}
+
+// popN discards n slots.
+func (in *Interp) popN(n int) {
+	for i := 0; i < n; i++ {
+		in.sp--
+		in.vm.H.StoreNoCheck(in.ctx, in.base+in.sp, object.Nil)
+	}
+}
+
+// tempIndex maps a temp number to (object, field index): temps of a
+// block context live in its home context.
+func (in *Interp) tempSlot(n int) (object.OOP, int) {
+	if in.isBlock {
+		return in.home, CtxFixed + n
+	}
+	return in.ctx, CtxFixed + n
+}
+
+// step executes one bytecode.
+func (in *Interp) step() {
+	vm := in.vm
+	h := vm.H
+	c := vm.M.Costs()
+	vm.stats.Bytecodes++
+	in.p.Advance(c.Bytecode)
+
+	// Shared memory-bus contention: executing alongside other active
+	// processors costs extra (paper: competition overhead; Firefly:
+	// five processors on one bus).
+	if d := c.BusDivisor; d > 0 {
+		if k := vm.M.ActiveProcs() - 1; k > 0 {
+			in.busAccum += firefly.Time(k)
+			if in.busAccum >= d {
+				in.p.Advance(in.busAccum / d)
+				in.busAccum %= d
+			}
+		}
+	}
+
+	op := bytecode.Op(in.fetchByte())
+	switch op {
+	case bytecode.OpPushSelf:
+		in.push(in.receiver)
+	case bytecode.OpPushNil:
+		in.push(object.Nil)
+	case bytecode.OpPushTrue:
+		in.push(object.True)
+	case bytecode.OpPushFalse:
+		in.push(object.False)
+	case bytecode.OpPushTemp:
+		o, idx := in.tempSlot(in.fetchByte())
+		in.push(h.Fetch(o, idx))
+	case bytecode.OpPushInstVar:
+		in.push(h.Fetch(in.receiver, in.fetchByte()))
+	case bytecode.OpPushLiteral:
+		in.push(in.literalAt(in.fetchByte()))
+	case bytecode.OpPushGlobal:
+		assoc := in.literalAt(in.fetchByte())
+		in.push(h.Fetch(assoc, AsValue))
+	case bytecode.OpPushInt8:
+		in.push(object.FromInt(int64(in.fetchI8())))
+	case bytecode.OpPushThisContext:
+		in.flushRegisters()
+		in.push(in.ctx)
+	case bytecode.OpDup:
+		in.push(in.stackAt(0))
+	case bytecode.OpPop:
+		in.pop()
+
+	case bytecode.OpStoreTemp:
+		o, idx := in.tempSlot(in.fetchByte())
+		h.Store(in.p, o, idx, in.stackAt(0))
+	case bytecode.OpStoreInstVar:
+		h.Store(in.p, in.receiver, in.fetchByte(), in.stackAt(0))
+	case bytecode.OpStoreGlobal:
+		assoc := in.literalAt(in.fetchByte())
+		h.Store(in.p, assoc, AsValue, in.stackAt(0))
+	case bytecode.OpPopTemp:
+		o, idx := in.tempSlot(in.fetchByte())
+		h.Store(in.p, o, idx, in.pop())
+	case bytecode.OpPopInstVar:
+		h.Store(in.p, in.receiver, in.fetchByte(), in.pop())
+	case bytecode.OpPopGlobal:
+		assoc := in.literalAt(in.fetchByte())
+		h.Store(in.p, assoc, AsValue, in.pop())
+
+	case bytecode.OpJump:
+		off := in.fetchI16()
+		in.pc += off
+	case bytecode.OpJumpFalse, bytecode.OpJumpTrue:
+		off := in.fetchI16()
+		v := in.pop()
+		want := object.True
+		if op == bytecode.OpJumpFalse {
+			want = object.False
+		}
+		if v == want {
+			in.pc += off
+		} else if v != object.True && v != object.False {
+			in.mustBeBoolean(v)
+		}
+	case bytecode.OpPushBlock:
+		in.pushBlock()
+	case bytecode.OpReturnTop:
+		in.returnValue(in.pop(), true)
+	case bytecode.OpReturnSelf:
+		in.returnValue(in.receiver, true)
+	case bytecode.OpBlockReturn:
+		in.blockReturn()
+
+	case bytecode.OpSend:
+		lit := in.fetchByte()
+		nargs := in.fetchByte()
+		in.send(in.literalAt(lit), nargs, false)
+	case bytecode.OpSendSuper:
+		lit := in.fetchByte()
+		nargs := in.fetchByte()
+		in.send(in.literalAt(lit), nargs, true)
+
+	default:
+		if bytecode.IsSpecialSend(op) {
+			in.specialSend(op)
+			return
+		}
+		vm.vmError("bad bytecode %d at pc %d", op, in.pc-1)
+		in.terminateCurrentProcess()
+	}
+}
+
+// literalAt returns literal frame entry i of the current method.
+func (in *Interp) literalAt(i int) object.OOP {
+	lits := in.vm.H.Fetch(in.method, CMLiterals)
+	return in.vm.H.Fetch(lits, i)
+}
+
+// pushBlock creates a BlockContext for a PushBlock bytecode.
+func (in *Interp) pushBlock() {
+	vm := in.vm
+	nargs := in.fetchByte()
+	firstArg := in.fetchByte()
+	bodyLen := in.fetchU16()
+	initialPC := in.pc
+	in.pc += bodyLen
+
+	// Allocation may scavenge; registers are roots, so no handles are
+	// needed for the interpreter state itself.
+	blk := vm.H.Allocate(in.p, vm.Specials.BlockContext,
+		BCtxFixed+BlockCtxSlots, object.FmtPointers)
+	h := vm.H
+	h.StoreNoCheck(blk, BCtxCaller, object.Nil)
+	h.StoreNoCheck(blk, BCtxPC, object.FromInt(int64(initialPC)))
+	h.StoreNoCheck(blk, BCtxSP, object.FromInt(0))
+	h.Store(in.p, blk, BCtxHome, in.home)
+	h.StoreNoCheck(blk, BCtxInfo, object.FromInt(int64(nargs)|int64(firstArg)<<8))
+	h.StoreNoCheck(blk, BCtxInitialPC, object.FromInt(int64(initialPC)))
+	in.push(blk)
+}
+
+// mustBeBoolean reports a conditional jump on a non-Boolean.
+func (in *Interp) mustBeBoolean(v object.OOP) {
+	in.vm.vmError("mustBeBoolean: jump on %s", in.vm.DescribeOOP(v))
+	in.terminateCurrentProcess()
+}
+
+// flushRegisters writes pc and sp back into the active context.
+func (in *Interp) flushRegisters() {
+	if in.ctx == object.Nil {
+		return
+	}
+	h := in.vm.H
+	h.StoreNoCheck(in.ctx, CtxPC, object.FromInt(int64(in.pc)))
+	h.StoreNoCheck(in.ctx, CtxSP, object.FromInt(int64(in.sp)))
+}
+
+// loadContext makes ctx the active context and loads the register cache.
+func (in *Interp) loadContext(ctx object.OOP) {
+	h := in.vm.H
+	in.ctx = ctx
+	cls := h.ClassOf(ctx)
+	in.isBlock = cls == in.vm.Specials.BlockContext
+	if in.isBlock {
+		in.home = h.Fetch(ctx, BCtxHome)
+		in.base = BCtxFixed
+	} else {
+		in.home = ctx
+		in.base = CtxFixed
+	}
+	in.method = h.Fetch(in.home, CtxMethod)
+	in.receiver = h.Fetch(in.home, CtxReceiver)
+	in.bytes = h.Fetch(in.method, CMBytes)
+	in.pc = int(h.Fetch(ctx, CtxPC).Int())
+	in.sp = int(h.Fetch(ctx, CtxSP).Int())
+	in.slotCap = h.FieldCount(ctx) - in.base
+}
+
+// DescribeOOP renders an oop for diagnostics (Go-side, no image code).
+func (vm *VM) DescribeOOP(o object.OOP) string {
+	switch {
+	case o.IsInt():
+		return strconv.FormatInt(o.Int(), 10)
+	case o == object.Nil:
+		return "nil"
+	case o == object.True:
+		return "true"
+	case o == object.False:
+		return "false"
+	case o == object.Invalid:
+		return "<invalid>"
+	}
+	cls := vm.H.ClassOf(o)
+	if cls == vm.Specials.String || cls == vm.Specials.Symbol {
+		return "'" + vm.GoString(o) + "'"
+	}
+	if cls == object.Invalid {
+		return "<unclassed>"
+	}
+	name := vm.H.Fetch(cls, ClsName)
+	if name != object.Nil && vm.H.Header(name).Format() == object.FmtBytes {
+		return "a " + vm.GoString(name)
+	}
+	return "<obj>"
+}

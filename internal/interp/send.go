@@ -1,0 +1,694 @@
+package interp
+
+import (
+	"mst/internal/bytecode"
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// cacheSize is the method cache size (entries, power of two).
+const cacheSize = 512
+
+// mcEntry is one method-cache entry. Keys are raw oops, which is safe
+// because every cache is flushed before each scavenge.
+type mcEntry struct {
+	selector object.OOP
+	class    object.OOP
+	method   object.OOP
+	prim     int
+}
+
+func cacheIndex(selector, class object.OOP) int {
+	return int((uint64(selector)>>1 ^ uint64(class)>>3) & (cacheSize - 1))
+}
+
+// lookup finds (method, primitive) for selector starting at class,
+// consulting the configured method cache. Reports ok=false on a miss
+// all the way up the chain (doesNotUnderstand:).
+func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
+	vm := in.vm
+	c := vm.M.Costs()
+
+	probeCost := c.CacheProbe
+	if vm.Cfg.MSMode && vm.Cfg.MethodCache == CacheReplicated {
+		// The paper notes replication's drawback: "more overhead is
+		// involved in access to the cache because it is replicated."
+		probeCost += c.CacheReplica
+	}
+
+	var cache []mcEntry
+	locked := false
+	if vm.Cfg.MethodCache == CacheSharedLocked {
+		// MS's first design: a shared cache behind a two-level lock
+		// (probes take the read side; fills take the write side).
+		vm.cacheLock.AcquireRead(in.p)
+		locked = true
+		cache = vm.sharedCache
+	} else {
+		cache = in.cache
+	}
+	idx := cacheIndex(selector, class)
+	in.p.Advance(probeCost)
+	if e := &cache[idx]; e.selector == selector && e.class == class {
+		m, prim := e.method, e.prim
+		if locked {
+			vm.cacheLock.ReleaseRead(in.p)
+		}
+		vm.stats.CacheHits++
+		return m, prim, true
+	}
+	if locked {
+		vm.cacheLock.ReleaseRead(in.p)
+	}
+	vm.stats.CacheMisses++
+
+	method, ok := in.walkLookup(class, selector)
+	if !ok {
+		return object.Nil, 0, false
+	}
+	prim := headerPrim(vm.H.Fetch(method, CMHeader))
+
+	if vm.Cfg.MethodCache == CacheSharedLocked {
+		vm.cacheLock.AcquireWrite(in.p)
+		vm.sharedCache[idx] = mcEntry{selector, class, method, prim}
+		vm.cacheLock.ReleaseWrite(in.p)
+	} else {
+		in.cache[idx] = mcEntry{selector, class, method, prim}
+	}
+	return method, prim, true
+}
+
+// walkLookup probes method dictionaries up the superclass chain.
+func (in *Interp) walkLookup(class, selector object.OOP) (object.OOP, bool) {
+	vm := in.vm
+	h := vm.H
+	c := vm.M.Costs()
+	for cls := class; cls != object.Nil; cls = h.Fetch(cls, ClsSuperclass) {
+		in.p.Advance(c.LookupPerDict)
+		vm.stats.DictProbes++
+		dict := h.Fetch(cls, ClsMethodDict)
+		if m, ok := vm.methodDictLookup(dict, selector); ok {
+			return m, true
+		}
+	}
+	return object.Nil, false
+}
+
+// methodDictLookup probes one open-addressed method dictionary.
+func (vm *VM) methodDictLookup(dict, selector object.OOP) (object.OOP, bool) {
+	h := vm.H
+	keys := h.Fetch(dict, MDKeys)
+	n := h.FieldCount(keys)
+	if n == 0 {
+		return object.Nil, false
+	}
+	idx := int(h.IdentityHash(selector)) & (n - 1)
+	for i := 0; i < n; i++ {
+		k := h.Fetch(keys, (idx+i)&(n-1))
+		if k == selector {
+			values := h.Fetch(dict, MDValues)
+			return h.Fetch(values, (idx+i)&(n-1)), true
+		}
+		if k == object.Nil {
+			return object.Nil, false
+		}
+	}
+	return object.Nil, false
+}
+
+// send performs a full message send: lookup (through the cache), then
+// primitive or method activation; on total lookup failure it reships
+// the message as doesNotUnderstand:.
+func (in *Interp) send(selector object.OOP, nargs int, super bool) {
+	vm := in.vm
+	vm.stats.Sends++
+	in.p.Advance(vm.M.Costs().SendExtra)
+
+	receiver := in.stackAt(nargs)
+	var class object.OOP
+	if super {
+		// Super sends start above the method's defining class.
+		mc := vm.H.Fetch(in.method, CMMethodClass)
+		class = vm.H.Fetch(mc, ClsSuperclass)
+	} else {
+		class = vm.ClassOf(receiver)
+	}
+
+	method, prim, ok := in.lookup(class, selector)
+	if !ok {
+		in.sendDNU(selector, nargs)
+		return
+	}
+	if prim > 0 {
+		vm.stats.Primitives++
+		in.p.Advance(vm.M.Costs().PrimBase)
+		if in.callPrimitive(prim, nargs) {
+			return
+		}
+		vm.stats.PrimFailures++
+	}
+	in.activateMethod(method, nargs)
+}
+
+// sendDNU converts the failed message into doesNotUnderstand: aMessage.
+func (in *Interp) sendDNU(selector object.OOP, nargs int) {
+	vm := in.vm
+	vm.stats.DNUs++
+	if len(vm.errors) < 100 { // diagnostic log; DNU may be handled deliberately
+		vm.errors = append(vm.errors, "doesNotUnderstand: #"+vm.SymbolName(selector)+
+			" sent to "+vm.DescribeOOP(in.stackAt(nargs)))
+	}
+	hs := vm.H.Handles(in.p)
+	defer hs.Close()
+	selH := hs.Add(selector)
+
+	// Build the Message object (allocations may scavenge; arguments
+	// are read from the context stack afterwards, which is safe).
+	args := vm.NewArray(in.p, nargs)
+	argsH := hs.Add(args)
+	for i := 0; i < nargs; i++ {
+		vm.H.Store(in.p, argsH.Get(), i, in.stackAt(nargs-1-i))
+	}
+	msg := vm.H.Allocate(in.p, vm.Specials.Message, MessageInstSize, object.FmtPointers)
+	vm.H.Store(in.p, msg, MsgSelector, selH.Get())
+	vm.H.Store(in.p, msg, MsgArgs, argsH.Get())
+
+	// Replace the arguments with the message and re-send.
+	in.popN(nargs)
+	in.push(msg)
+
+	receiver := in.stackAt(1)
+	class := vm.ClassOf(receiver)
+	method, prim, ok := in.lookup(class, vm.Specials.SymDNU)
+	if !ok {
+		vm.vmError("recursive doesNotUnderstand: for %s on %s",
+			vm.SymbolName(selH.Get()), vm.DescribeOOP(receiver))
+		in.terminateCurrentProcess()
+		return
+	}
+	if prim > 0 && in.callPrimitive(prim, 1) {
+		return
+	}
+	in.activateMethod(method, 1)
+}
+
+// activateMethod builds (or recycles) a context for method and makes it
+// active. The receiver and nargs arguments are on the caller's stack.
+func (in *Interp) activateMethod(method object.OOP, nargs int) {
+	vm := in.vm
+	h := vm.H
+	hdr := h.Fetch(method, CMHeader)
+	ntemps := headerNumTemps(hdr)
+	need := ntemps + headerMaxStack(hdr) + 2
+	large := need > SmallCtxSlots
+	if need > LargeCtxSlots {
+		vm.vmError("method %s needs %d context slots", vm.DescribeOOP(method), need)
+		in.terminateCurrentProcess()
+		return
+	}
+
+	hs := h.Handles(in.p)
+	mh := hs.Add(method)
+	nc := in.allocContext(large) // MAY GC
+	method = mh.Get()
+	hs.Close()
+
+	// Initialize the fresh context. Everything read from the caller's
+	// stack happens after the allocation, via the (GC-updated) ctx root.
+	slots := SmallCtxSlots
+	if large {
+		slots = LargeCtxSlots
+	}
+	h.StoreNoCheck(nc, CtxPC, object.FromInt(0))
+	h.StoreNoCheck(nc, CtxSP, object.FromInt(int64(ntemps)))
+	h.Store(in.p, nc, CtxMethod, method)
+	receiver := in.stackAt(nargs)
+	h.Store(in.p, nc, CtxReceiver, receiver)
+	// Arguments into the first temps; remaining temps nil; the rest of
+	// the slot area must be nil for the scavenger (recycled contexts
+	// hold stale values).
+	for i := 0; i < nargs; i++ {
+		h.Store(in.p, nc, CtxFixed+i, in.stackAt(nargs-1-i))
+	}
+	for i := nargs; i < slots; i++ {
+		h.StoreNoCheck(nc, CtxFixed+i, object.Nil)
+	}
+	// Pop receiver+args, link, and switch.
+	in.popN(nargs + 1)
+	in.flushRegisters()
+	h.Store(in.p, nc, CtxSender, in.ctx)
+
+	in.loadContext(nc)
+}
+
+// returnValue implements ^-returns. For a block context this is a
+// non-local return from the home method's sender.
+func (in *Interp) returnValue(val object.OOP, methodReturn bool) {
+	vm := in.vm
+	h := vm.H
+
+	var target object.OOP
+	if in.isBlock && methodReturn {
+		// Non-local return: leave via the home context's sender.
+		home := in.home
+		target = h.Fetch(home, CtxSender)
+		// The home method context is now dead.
+		h.StoreNoCheck(home, CtxSender, object.Nil)
+	} else {
+		target = h.Fetch(in.ctx, CtxSender)
+		in.recycleContext(in.ctx)
+	}
+
+	if target == object.Nil {
+		in.processCompleted(val)
+		return
+	}
+	in.loadContext(target)
+	in.push(val)
+}
+
+// blockReturn returns the top of stack from a block to its caller.
+func (in *Interp) blockReturn() {
+	val := in.pop()
+	target := in.vm.H.Fetch(in.ctx, BCtxCaller)
+	if target == object.Nil {
+		in.processCompleted(val)
+		return
+	}
+	in.loadContext(target)
+	in.push(val)
+}
+
+// recycleContext returns a clean method context to the free list
+// (paper §3.2: replication of the free context list removed the
+// serialization bottleneck).
+func (in *Interp) recycleContext(ctx object.OOP) {
+	vm := in.vm
+	if in.isBlock {
+		return
+	}
+	hdr := vm.H.Fetch(in.method, CMHeader)
+	if !headerClean(hdr) {
+		// The context may have escaped through a block or
+		// thisContext; let the scavenger reclaim it.
+		return
+	}
+	large := vm.H.FieldCount(ctx)-CtxFixed > SmallCtxSlots
+	const freeListMax = 64
+	if vm.Cfg.FreeContexts == FreeCtxSharedLocked {
+		which := 0
+		if large {
+			which = 1
+		}
+		vm.freeLock.Acquire(in.p)
+		if len(vm.sharedFreeCtx[which]) < freeListMax {
+			vm.sharedFreeCtx[which] = append(vm.sharedFreeCtx[which], ctx)
+		}
+		vm.freeLock.Release(in.p)
+		return
+	}
+	if large {
+		if len(in.freeLarge) < freeListMax {
+			in.freeLarge = append(in.freeLarge, ctx)
+		}
+	} else {
+		if len(in.freeSmall) < freeListMax {
+			in.freeSmall = append(in.freeSmall, ctx)
+		}
+	}
+	vm.stats.ContextsRecycled++
+}
+
+// allocContext takes a method context from the free list or the heap.
+// MAY GC when the free list is empty.
+func (in *Interp) allocContext(large bool) object.OOP {
+	vm := in.vm
+	c := vm.M.Costs()
+	if vm.Cfg.FreeContexts == FreeCtxSharedLocked {
+		which := 0
+		if large {
+			which = 1
+		}
+		vm.freeLock.Acquire(in.p)
+		list := vm.sharedFreeCtx[which]
+		if n := len(list); n > 0 {
+			ctx := list[n-1]
+			vm.sharedFreeCtx[which] = list[:n-1]
+			vm.freeLock.Release(in.p)
+			in.p.Advance(c.FreeListPop)
+			return ctx
+		}
+		vm.freeLock.Release(in.p)
+	} else {
+		list := &in.freeSmall
+		if large {
+			list = &in.freeLarge
+		}
+		if n := len(*list); n > 0 {
+			ctx := (*list)[n-1]
+			*list = (*list)[:n-1]
+			in.p.Advance(c.FreeListPop)
+			return ctx
+		}
+	}
+	slots := SmallCtxSlots
+	if large {
+		slots = LargeCtxSlots
+	}
+	vm.stats.ContextsAlloc++
+	return vm.H.Allocate(in.p, vm.Specials.MethodContext,
+		CtxFixed+slots, object.FmtPointers)
+}
+
+// specialSend executes a special-selector send, with inline fast paths
+// for the common cases; otherwise it falls back to a normal send of the
+// pre-interned selector.
+func (in *Interp) specialSend(op bytecode.Op) {
+	vm := in.vm
+	h := vm.H
+	spec := bytecode.Special(op)
+
+	switch op {
+	case bytecode.OpSendAdd, bytecode.OpSendSub, bytecode.OpSendMul,
+		bytecode.OpSendIntDiv, bytecode.OpSendMod,
+		bytecode.OpSendBitAnd, bytecode.OpSendBitOr, bytecode.OpSendBitXor,
+		bytecode.OpSendBitShift:
+		a := in.stackAt(1)
+		b := in.stackAt(0)
+		if a.IsInt() && b.IsInt() {
+			if r, ok := intArith(op, a.Int(), b.Int()); ok {
+				in.popN(2)
+				in.push(r)
+				return
+			}
+		}
+	case bytecode.OpSendLT, bytecode.OpSendGT, bytecode.OpSendLE,
+		bytecode.OpSendGE, bytecode.OpSendEq, bytecode.OpSendNE:
+		a := in.stackAt(1)
+		b := in.stackAt(0)
+		if a.IsInt() && b.IsInt() {
+			in.popN(2)
+			in.push(object.FromBool(intCompare(op, a.Int(), b.Int())))
+			return
+		}
+	case bytecode.OpSendIdent:
+		b := in.pop()
+		a := in.pop()
+		in.push(object.FromBool(a == b))
+		return
+	case bytecode.OpSendNotIdent:
+		b := in.pop()
+		a := in.pop()
+		in.push(object.FromBool(a != b))
+		return
+	case bytecode.OpSendClass:
+		v := in.pop()
+		in.push(vm.ClassOf(v))
+		return
+	case bytecode.OpSendIsNil:
+		v := in.pop()
+		in.push(object.FromBool(v == object.Nil))
+		return
+	case bytecode.OpSendNotNil:
+		v := in.pop()
+		in.push(object.FromBool(v != object.Nil))
+		return
+	case bytecode.OpSendNot:
+		v := in.stackAt(0)
+		if v == object.True {
+			in.setStackTop(object.False)
+			return
+		}
+		if v == object.False {
+			in.setStackTop(object.True)
+			return
+		}
+	case bytecode.OpSendAt:
+		recv := in.stackAt(1)
+		idx := in.stackAt(0)
+		if v, ok := in.basicAt(recv, idx); ok {
+			in.popN(2)
+			in.push(v)
+			return
+		}
+	case bytecode.OpSendAtPut:
+		recv := in.stackAt(2)
+		idx := in.stackAt(1)
+		val := in.stackAt(0)
+		if in.basicAtPut(recv, idx, val) {
+			in.popN(3)
+			in.push(val)
+			return
+		}
+	case bytecode.OpSendSize:
+		recv := in.stackAt(0)
+		if n, ok := in.basicSize(recv); ok {
+			in.setStackTop(object.FromInt(int64(n)))
+			return
+		}
+	case bytecode.OpSendValue:
+		recv := in.stackAt(0)
+		if recv.IsPtr() && recv != object.Nil && h.ClassOf(recv) == vm.Specials.BlockContext {
+			if in.blockValue(recv, 0) {
+				return
+			}
+		}
+	case bytecode.OpSendValue1:
+		recv := in.stackAt(1)
+		if recv.IsPtr() && recv != object.Nil && h.ClassOf(recv) == vm.Specials.BlockContext {
+			if in.blockValue(recv, 1) {
+				return
+			}
+		}
+	}
+
+	// Fast path failed: a real send of the pre-interned selector.
+	in.send(vm.specialSelectors[op-bytecode.FirstSpecialSend], spec.NumArgs, false)
+}
+
+func intArith(op bytecode.Op, a, b int64) (object.OOP, bool) {
+	switch op {
+	case bytecode.OpSendAdd:
+		r := a + b
+		if r > object.MaxSmallInt || r < object.MinSmallInt {
+			return 0, false
+		}
+		return object.FromInt(r), true
+	case bytecode.OpSendSub:
+		r := a - b
+		if r > object.MaxSmallInt || r < object.MinSmallInt {
+			return 0, false
+		}
+		return object.FromInt(r), true
+	case bytecode.OpSendMul:
+		r := a * b
+		if a != 0 && (r/a != b || r > object.MaxSmallInt || r < object.MinSmallInt) {
+			return 0, false // overflow
+		}
+		return object.FromInt(r), true
+	case bytecode.OpSendIntDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return object.FromInt(floorDiv(a, b)), true
+	case bytecode.OpSendMod:
+		if b == 0 {
+			return 0, false
+		}
+		return object.FromInt(a - floorDiv(a, b)*b), true
+	case bytecode.OpSendBitAnd:
+		return object.FromInt(a & b), true
+	case bytecode.OpSendBitOr:
+		return object.FromInt(a | b), true
+	case bytecode.OpSendBitXor:
+		return object.FromInt(a ^ b), true
+	case bytecode.OpSendBitShift:
+		if b >= 0 {
+			if b > 60 {
+				return 0, false
+			}
+			r := a << uint(b)
+			if r>>uint(b) != a || r > object.MaxSmallInt || r < object.MinSmallInt {
+				return 0, false
+			}
+			return object.FromInt(r), true
+		}
+		if b < -63 {
+			b = -63
+		}
+		return object.FromInt(a >> uint(-b)), true
+	}
+	return 0, false
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func intCompare(op bytecode.Op, a, b int64) bool {
+	switch op {
+	case bytecode.OpSendLT:
+		return a < b
+	case bytecode.OpSendGT:
+		return a > b
+	case bytecode.OpSendLE:
+		return a <= b
+	case bytecode.OpSendGE:
+		return a >= b
+	case bytecode.OpSendEq:
+		return a == b
+	case bytecode.OpSendNE:
+		return a != b
+	}
+	return false
+}
+
+// basicAt implements 1-based indexed access for indexable objects;
+// ok=false falls back to a full send (user-defined at:).
+func (in *Interp) basicAt(recv, idx object.OOP) (object.OOP, bool) {
+	vm := in.vm
+	h := vm.H
+	if !idx.IsInt() || !recv.IsPtr() || recv == object.Nil {
+		return 0, false
+	}
+	i := int(idx.Int())
+	cls := h.ClassOf(recv)
+	instSize, kind := DecodeFormat(h.Fetch(cls, ClsFormat))
+	switch kind {
+	case KindIdxPointers:
+		n := h.FieldCount(recv) - instSize
+		if i < 1 || i > n {
+			return 0, false
+		}
+		return h.Fetch(recv, instSize+i-1), true
+	case KindIdxBytes:
+		if i < 1 || i > h.ByteLen(recv) {
+			return 0, false
+		}
+		return object.FromInt(int64(h.FetchByte(recv, i-1))), true
+	case KindIdxChars:
+		if i < 1 || i > h.ByteLen(recv) {
+			return 0, false
+		}
+		return vm.CharFor(in.p, rune(h.FetchByte(recv, i-1))), true
+	case KindIdxWords:
+		n := h.FieldCount(recv)
+		if i < 1 || i > n {
+			return 0, false
+		}
+		w := h.FetchWord(recv, i-1)
+		if w > uint64(object.MaxSmallInt) {
+			return 0, false
+		}
+		return object.FromInt(int64(w)), true
+	}
+	return 0, false
+}
+
+// basicAtPut implements 1-based indexed store.
+func (in *Interp) basicAtPut(recv, idx, val object.OOP) bool {
+	vm := in.vm
+	h := vm.H
+	if !idx.IsInt() || !recv.IsPtr() || recv == object.Nil {
+		return false
+	}
+	i := int(idx.Int())
+	cls := h.ClassOf(recv)
+	instSize, kind := DecodeFormat(h.Fetch(cls, ClsFormat))
+	switch kind {
+	case KindIdxPointers:
+		n := h.FieldCount(recv) - instSize
+		if i < 1 || i > n {
+			return false
+		}
+		h.Store(in.p, recv, instSize+i-1, val)
+		return true
+	case KindIdxBytes:
+		if i < 1 || i > h.ByteLen(recv) || !val.IsInt() {
+			return false
+		}
+		v := val.Int()
+		if v < 0 || v > 255 {
+			return false
+		}
+		h.StoreByte(recv, i-1, byte(v))
+		return true
+	case KindIdxChars:
+		if i < 1 || i > h.ByteLen(recv) {
+			return false
+		}
+		if val.IsInt() {
+			return false
+		}
+		if h.ClassOf(val) != vm.Specials.Character {
+			return false
+		}
+		r := vm.CharValueOf(val)
+		if r < 0 || r > 255 {
+			return false
+		}
+		h.StoreByte(recv, i-1, byte(r))
+		return true
+	case KindIdxWords:
+		n := h.FieldCount(recv)
+		if i < 1 || i > n || !val.IsInt() || val.Int() < 0 {
+			return false
+		}
+		h.StoreWord(recv, i-1, uint64(val.Int()))
+		return true
+	}
+	return false
+}
+
+// basicSize returns the indexable size of recv.
+func (in *Interp) basicSize(recv object.OOP) (int, bool) {
+	vm := in.vm
+	h := vm.H
+	if !recv.IsPtr() || recv == object.Nil {
+		return 0, false
+	}
+	cls := h.ClassOf(recv)
+	instSize, kind := DecodeFormat(h.Fetch(cls, ClsFormat))
+	switch kind {
+	case KindIdxPointers:
+		return h.FieldCount(recv) - instSize, true
+	case KindIdxBytes, KindIdxChars:
+		return h.ByteLen(recv), true
+	case KindIdxWords:
+		return h.FieldCount(recv), true
+	}
+	return 0, false
+}
+
+// blockValue activates a block with nargs arguments on the stack (the
+// block itself sits below them). Reports false when the arity is wrong
+// (the send then falls back to BlockContext>>value..., which errors).
+func (in *Interp) blockValue(blk object.OOP, nargs int) bool {
+	vm := in.vm
+	h := vm.H
+	info := h.Fetch(blk, BCtxInfo).Int()
+	wantArgs := int(info & 0xFF)
+	firstArg := int(info >> 8 & 0xFF)
+	if wantArgs != nargs {
+		return false
+	}
+	home := h.Fetch(blk, BCtxHome)
+	// Block arguments live in the home context's temporaries.
+	for i := 0; i < nargs; i++ {
+		h.Store(in.p, home, CtxFixed+firstArg+i, in.stackAt(nargs-1-i))
+	}
+	in.popN(nargs + 1)
+	in.flushRegisters()
+	h.Store(in.p, blk, BCtxCaller, in.ctx)
+	h.StoreNoCheck(blk, BCtxPC, h.Fetch(blk, BCtxInitialPC))
+	h.StoreNoCheck(blk, BCtxSP, object.FromInt(0))
+	in.loadContext(blk)
+	in.p.Advance(vm.M.Costs().SendExtra)
+	return true
+}
+
+var _ = firefly.Time(0) // keep firefly imported for future use

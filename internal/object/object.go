@@ -1,0 +1,257 @@
+// Package object defines the Smalltalk object model shared by the heap,
+// interpreter, and compiler: tagged object pointers (OOPs) and the
+// two-word object header.
+//
+// Following Berkeley Smalltalk, there is no object table: an OOP is the
+// direct address (word index) of the object's header in the single shared
+// object memory, so the scavenger must forward every reference when it
+// moves an object. SmallIntegers are immediate values distinguished by a
+// low tag bit and carry 63 bits of signed value.
+package object
+
+import "fmt"
+
+// OOP is an object pointer. Bit 0 distinguishes the two kinds:
+//
+//	xxxx...xxx1  SmallInteger, value in the upper 63 bits (two's complement)
+//	xxxx...xxx0  pointer: word index of the object header in the heap
+//
+// Object addresses are always even (objects are allocated in two-word
+// units), so a pointer OOP is simply the address. OOP(0) is never a valid
+// object address (the first heap words are reserved) and serves as an
+// "absent" marker inside the virtual machine; the Smalltalk nil is a real
+// object at the fixed address Nil.
+type OOP uint64
+
+// The first objects created at genesis live at fixed, immortal addresses,
+// so the well-known oops are compile-time constants.
+const (
+	// Invalid is the VM-internal absent marker, never a Smalltalk value.
+	Invalid OOP = 0
+	// Nil is the Smalltalk nil object.
+	Nil OOP = 2
+	// True is the Smalltalk true object.
+	True OOP = 4
+	// False is the Smalltalk false object.
+	False OOP = 6
+	// FirstFreeAddress is where genesis continues allocating after the
+	// three fixed objects.
+	FirstFreeAddress = 8
+)
+
+// MinSmallInt and MaxSmallInt bound the immediate integer range.
+const (
+	MaxSmallInt = 1<<62 - 1
+	MinSmallInt = -(1 << 62)
+)
+
+// FromInt makes a SmallInteger OOP. Values outside the 63-bit range are a
+// programming error (the interpreter's arithmetic primitives fail over to
+// Smalltalk code before overflowing).
+func FromInt(v int64) OOP {
+	if v > MaxSmallInt || v < MinSmallInt {
+		panic(fmt.Sprintf("object: SmallInteger overflow: %d", v))
+	}
+	return OOP(uint64(v)<<1 | 1)
+}
+
+// IsInt reports whether o is a SmallInteger.
+func (o OOP) IsInt() bool { return o&1 == 1 }
+
+// IsPtr reports whether o is an object pointer (including Nil).
+func (o OOP) IsPtr() bool { return o&1 == 0 }
+
+// Int returns the SmallInteger value; o must satisfy IsInt.
+func (o OOP) Int() int64 { return int64(o) >> 1 }
+
+// Addr returns the word address of a pointer OOP.
+func (o OOP) Addr() uint64 { return uint64(o) }
+
+// FromAddr makes a pointer OOP from a word address (must be even).
+func FromAddr(a uint64) OOP {
+	if a&1 != 0 {
+		panic(fmt.Sprintf("object: odd object address %d", a))
+	}
+	return OOP(a)
+}
+
+// FromBool converts a Go bool to the Smalltalk true or false object.
+func FromBool(b bool) OOP {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Format describes how an object's body is interpreted.
+type Format uint8
+
+const (
+	// FmtPointers means every body word is an OOP (scanned by the GC).
+	FmtPointers Format = iota
+	// FmtBytes means the body is raw bytes packed into words.
+	FmtBytes
+	// FmtWords means the body is raw 64-bit words (e.g. Float).
+	FmtWords
+)
+
+func (f Format) String() string {
+	switch f {
+	case FmtPointers:
+		return "pointers"
+	case FmtBytes:
+		return "bytes"
+	case FmtWords:
+		return "words"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// HeaderWords is the size of the object header: word 0 holds the packed
+// Header bits; word 1 holds the class OOP, or the forwarding pointer when
+// the forwarded flag is set during a scavenge.
+const HeaderWords = 2
+
+// MaxAge is the largest survivor age representable in the header; objects
+// reaching the tenure threshold move to old space.
+const MaxAge = 7
+
+// Header is the packed first word of every object:
+//
+//	bits  0..23  size in words, including the two header words (even)
+//	bits 24..26  format
+//	bit  27      remembered (object is in the entry table)
+//	bit  28      forwarded (word 1 is the forwarding OOP)
+//	bit  29      marked (full-collection mark bit)
+//	bits 30..32  age (number of scavenges survived)
+//	bits 33..36  slack: padding not part of the object's logical contents
+//	             (bytes for FmtBytes, whole words for the other formats;
+//	             objects are padded to even word sizes to keep addresses
+//	             even)
+//	bits 37..59  identity hash (0 = not yet assigned)
+type Header uint64
+
+const (
+	sizeBits   = 24
+	sizeMask   = 1<<sizeBits - 1
+	fmtShift   = 24
+	fmtMask    = 0x7
+	remBit     = 1 << 27
+	fwdBit     = 1 << 28
+	markBit    = 1 << 29
+	ageShift   = 30
+	ageMask    = 0x7
+	slackShift = 33
+	slackMask  = 0xF
+	hashShift  = 37
+	hashBits   = 23
+	hashMask   = 1<<hashBits - 1
+)
+
+// MaxObjectWords is the largest encodable object size.
+const MaxObjectWords = sizeMask
+
+// MaxHash is the largest identity hash value.
+const MaxHash = hashMask
+
+// MakeHeader packs a fresh header. Size includes the header words and must
+// be even. Slack is the padding at the end of the body: a byte count
+// (0..15) for FmtBytes, a word count (0 or 1) for the other formats.
+func MakeHeader(sizeWords int, f Format, slack int) Header {
+	if sizeWords < HeaderWords || sizeWords > MaxObjectWords || sizeWords%2 != 0 {
+		panic(fmt.Sprintf("object: bad object size %d words", sizeWords))
+	}
+	if slack < 0 || slack > slackMask {
+		panic(fmt.Sprintf("object: bad slack %d", slack))
+	}
+	return Header(uint64(sizeWords) | uint64(f)<<fmtShift | uint64(slack)<<slackShift)
+}
+
+// SizeWords returns the total object size in words, header included.
+func (h Header) SizeWords() int { return int(h & sizeMask) }
+
+// BodyWords returns the number of body words.
+func (h Header) BodyWords() int { return h.SizeWords() - HeaderWords }
+
+// Format returns the body format.
+func (h Header) Format() Format { return Format(h >> fmtShift & fmtMask) }
+
+// Slack returns the body padding (bytes for FmtBytes, words otherwise).
+func (h Header) Slack() int { return int(h >> slackShift & slackMask) }
+
+// ByteLen returns the byte length of a FmtBytes object.
+func (h Header) ByteLen() int { return h.BodyWords()*8 - h.Slack() }
+
+// FieldCount returns the logical field/element count of a FmtPointers or
+// FmtWords object (the body minus padding words).
+func (h Header) FieldCount() int { return h.BodyWords() - h.Slack() }
+
+// Remembered reports the entry-table flag.
+func (h Header) Remembered() bool { return h&remBit != 0 }
+
+// SetRemembered returns h with the entry-table flag set to v.
+func (h Header) SetRemembered(v bool) Header {
+	if v {
+		return h | remBit
+	}
+	return h &^ remBit
+}
+
+// Forwarded reports whether the object has been moved by a scavenge in
+// progress (the class word holds the forwarding pointer).
+func (h Header) Forwarded() bool { return h&fwdBit != 0 }
+
+// SetForwarded returns h with the forwarded flag set.
+func (h Header) SetForwarded() Header { return h | fwdBit }
+
+// Marked reports the full-collection mark bit.
+func (h Header) Marked() bool { return h&markBit != 0 }
+
+// SetMarked returns h with the mark bit set to v.
+func (h Header) SetMarked(v bool) Header {
+	if v {
+		return h | markBit
+	}
+	return h &^ markBit
+}
+
+// Age returns how many scavenges the object has survived.
+func (h Header) Age() int { return int(h >> ageShift & ageMask) }
+
+// SetAge returns h with the age field set.
+func (h Header) SetAge(a int) Header {
+	if a > MaxAge {
+		a = MaxAge
+	}
+	return h&^(ageMask<<ageShift) | Header(a)<<ageShift
+}
+
+// Hash returns the identity hash field (0 when unassigned).
+func (h Header) Hash() uint32 { return uint32(h >> hashShift & hashMask) }
+
+// SetHash returns h with the identity hash field set.
+func (h Header) SetHash(v uint32) Header {
+	return h&^(Header(hashMask)<<hashShift) | Header(v&hashMask)<<hashShift
+}
+
+// BodyWordsForBytes returns the body word count (padded so the total
+// object size is even) and the slack needed to hold n bytes.
+func BodyWordsForBytes(n int) (words, slack int) {
+	words = (n + 7) / 8
+	if (words+HeaderWords)%2 != 0 {
+		words++
+	}
+	slack = words*8 - n
+	return words, slack
+}
+
+// BodyWordsForFields returns the body word count (padded even) and the
+// slack in words needed to hold n pointer or raw-word fields.
+func BodyWordsForFields(n int) (words, slack int) {
+	words = n
+	if (words+HeaderWords)%2 != 0 {
+		words++
+	}
+	return words, words - n
+}

@@ -1,0 +1,192 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallIntegerRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 42, -42, MaxSmallInt, MinSmallInt, 1 << 40, -(1 << 40)}
+	for _, v := range cases {
+		o := FromInt(v)
+		if !o.IsInt() {
+			t.Fatalf("FromInt(%d).IsInt() = false", v)
+		}
+		if o.IsPtr() {
+			t.Fatalf("FromInt(%d).IsPtr() = true", v)
+		}
+		if got := o.Int(); got != v {
+			t.Fatalf("FromInt(%d).Int() = %d", v, got)
+		}
+	}
+}
+
+func TestSmallIntegerRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		if v > MaxSmallInt || v < MinSmallInt {
+			v >>= 1
+		}
+		return FromInt(v).Int() == v && FromInt(v).IsInt()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallIntegerOverflowPanics(t *testing.T) {
+	for _, v := range []int64{MaxSmallInt + 1, MinSmallInt - 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromInt(%d) did not panic", v)
+				}
+			}()
+			FromInt(v)
+		}()
+	}
+}
+
+func TestPointerOOPs(t *testing.T) {
+	o := FromAddr(1234)
+	if !o.IsPtr() || o.IsInt() {
+		t.Fatal("pointer OOP misclassified")
+	}
+	if o.Addr() != 1234 {
+		t.Fatalf("Addr = %d", o.Addr())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("odd address did not panic")
+			}
+		}()
+		FromAddr(7)
+	}()
+}
+
+func TestWellKnownOOPs(t *testing.T) {
+	if Nil == Invalid || True == Nil || False == True {
+		t.Fatal("well-known oops collide")
+	}
+	for _, o := range []OOP{Nil, True, False} {
+		if !o.IsPtr() {
+			t.Fatalf("%v is not a pointer", o)
+		}
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Fatal("FromBool wrong")
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	h := MakeHeader(10, FmtBytes, 3)
+	if h.SizeWords() != 10 || h.BodyWords() != 8 {
+		t.Fatalf("size = %d body = %d", h.SizeWords(), h.BodyWords())
+	}
+	if h.Format() != FmtBytes {
+		t.Fatalf("format = %v", h.Format())
+	}
+	if h.Slack() != 3 || h.ByteLen() != 8*8-3 {
+		t.Fatalf("slack = %d byteLen = %d", h.Slack(), h.ByteLen())
+	}
+	if h.Remembered() || h.Forwarded() || h.Marked() || h.Age() != 0 || h.Hash() != 0 {
+		t.Fatal("fresh header has flags set")
+	}
+}
+
+func TestHeaderFlagIndependence(t *testing.T) {
+	h := MakeHeader(4, FmtPointers, 0)
+	h = h.SetRemembered(true).SetMarked(true).SetAge(5).SetHash(0x2BCDEF)
+	if !h.Remembered() || !h.Marked() || h.Age() != 5 || h.Hash() != 0x2BCDEF {
+		t.Fatalf("flags lost: %+v", h)
+	}
+	if h.SizeWords() != 4 || h.Format() != FmtPointers {
+		t.Fatal("flags clobbered size/format")
+	}
+	h = h.SetRemembered(false)
+	if h.Remembered() || !h.Marked() || h.Age() != 5 {
+		t.Fatal("clearing remembered disturbed other fields")
+	}
+	h = h.SetForwarded()
+	if !h.Forwarded() || h.Hash() != 0x2BCDEF {
+		t.Fatal("forwarding disturbed hash")
+	}
+}
+
+func TestHeaderProperty(t *testing.T) {
+	f := func(size uint16, fmtRaw uint8, slack uint8, rem bool, age uint8, hash uint32) bool {
+		sw := int(size)*2 + HeaderWords // even, >= 2
+		if sw > MaxObjectWords {
+			sw = MaxObjectWords - 1 // keep even: MaxObjectWords is odd
+		}
+		format := Format(fmtRaw % 3)
+		h := MakeHeader(sw, format, int(slack%16))
+		h = h.SetRemembered(rem).SetAge(int(age % 8)).SetHash(hash & MaxHash)
+		return h.SizeWords() == sw &&
+			h.Format() == format &&
+			h.Slack() == int(slack%16) &&
+			h.Remembered() == rem &&
+			h.Age() == int(age%8) &&
+			h.Hash() == hash&MaxHash
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAgeSaturates(t *testing.T) {
+	h := MakeHeader(4, FmtPointers, 0).SetAge(99)
+	if h.Age() != MaxAge {
+		t.Fatalf("age = %d, want %d", h.Age(), MaxAge)
+	}
+}
+
+func TestBodyWordsForBytes(t *testing.T) {
+	for n := 0; n < 100; n++ {
+		w, slack := BodyWordsForBytes(n)
+		if w*8-slack != n {
+			t.Fatalf("n=%d: words=%d slack=%d", n, w, slack)
+		}
+		if slack < 0 || slack > 15 {
+			t.Fatalf("n=%d: slack=%d out of range", n, slack)
+		}
+		if (w+HeaderWords)%2 != 0 {
+			t.Fatalf("n=%d: total size %d is odd", n, w+HeaderWords)
+		}
+	}
+}
+
+func TestBodyWordsForFields(t *testing.T) {
+	for n := 0; n < 100; n++ {
+		w, slack := BodyWordsForFields(n)
+		if w-slack != n {
+			t.Fatalf("n=%d: words=%d slack=%d", n, w, slack)
+		}
+		if (w+HeaderWords)%2 != 0 {
+			t.Fatalf("n=%d: total size %d is odd", n, w+HeaderWords)
+		}
+		h := MakeHeader(w+HeaderWords, FmtPointers, slack)
+		if h.FieldCount() != n {
+			t.Fatalf("n=%d: FieldCount=%d", n, h.FieldCount())
+		}
+	}
+}
+
+func TestBadHeaderPanics(t *testing.T) {
+	for _, sz := range []int{0, 1, 3, 5, MaxObjectWords + 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeHeader(%d) did not panic", sz)
+				}
+			}()
+			MakeHeader(sz, FmtPointers, 0)
+		}()
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FmtPointers.String() != "pointers" || FmtBytes.String() != "bytes" || FmtWords.String() != "words" {
+		t.Fatal("Format.String wrong")
+	}
+}

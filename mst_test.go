@@ -1,0 +1,128 @@
+package mst_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mst"
+)
+
+func newSys(t *testing.T, cfg mst.Config) *mst.System {
+	t.Helper()
+	sys, err := mst.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	t.Cleanup(sys.Shutdown)
+	return sys
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := newSys(t, mst.DefaultConfig())
+	out, err := sys.Evaluate("(1 to: 100) inject: 0 into: [:a :b | a + b]")
+	if err != nil || out != "5050" {
+		t.Fatalf("Evaluate = %q, %v", out, err)
+	}
+	if n, err := sys.EvaluateInt("6 * 7"); err != nil || n != 42 {
+		t.Fatalf("EvaluateInt = %d, %v", n, err)
+	}
+	if err := sys.FileIn("t.st", `Object subclass: #Api
+	instanceVariableNames: ''
+	category: 'T'!
+
+!Api methodsFor: 't'!
+answer
+	^42! !
+`); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sys.EvaluateInt("Api new answer"); n != 42 {
+		t.Fatalf("filed-in method answered %d", n)
+	}
+}
+
+func TestPublicAPIStates(t *testing.T) {
+	for _, cfg := range []mst.Config{mst.DefaultConfig(), mst.BaselineConfig()} {
+		sys := newSys(t, cfg)
+		if n, err := sys.EvaluateInt("3 + 4"); err != nil || n != 7 {
+			t.Fatalf("%v: %d, %v", cfg.Mode, n, err)
+		}
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	cfg := mst.DefaultConfig()
+	cfg.MethodCache = mst.CacheSharedLocked
+	cfg.FreeContexts = mst.FreeCtxSharedLocked
+	cfg.Alloc = mst.AllocPerProcessor
+	sys := newSys(t, cfg)
+	if n, err := sys.EvaluateInt("(1 to: 50) sum"); err != nil || n != 1275 {
+		t.Fatalf("policies: %d, %v", n, err)
+	}
+}
+
+func TestPublicAPIBackgroundAndStats(t *testing.T) {
+	sys := newSys(t, mst.DefaultConfig())
+	if err := sys.SpawnIdleProcesses(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SpawnBusyProcesses(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EvaluateInt("(1 to: 500) sum"); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Interp.Bytecodes == 0 || st.Heap.Allocations == 0 || len(st.Procs) != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sys.VirtualTime() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestPublicAPISnapshotRoundTrip(t *testing.T) {
+	sys := newSys(t, mst.DefaultConfig())
+	if _, err := sys.Evaluate("Smalltalk at: 'K' put: 7"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mst.LoadImage(3, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Shutdown()
+	if n, err := loaded.EvaluateInt("K"); err != nil || n != 7 {
+		t.Fatalf("loaded K = %d, %v", n, err)
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() (string, mst.Time) {
+		sys := newSys(t, mst.DefaultConfig())
+		out, err := sys.Evaluate("((1 to: 30) collect: [:i | i * i]) sum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, sys.VirtualTime()
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if o1 != o2 || t1 != t2 {
+		t.Fatalf("nondeterministic: %q/%v vs %q/%v", o1, t1, o2, t2)
+	}
+}
+
+func TestPublicAPITranscript(t *testing.T) {
+	sys := newSys(t, mst.DefaultConfig())
+	if _, err := sys.Evaluate("Transcript show: 'api'; cr"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.TranscriptText(); !strings.Contains(got, "api") {
+		t.Fatalf("transcript = %q", got)
+	}
+}
