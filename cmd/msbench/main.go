@@ -8,6 +8,8 @@
 //	msbench -ablation methodcache  §3.2: serialized cache "much too slow"
 //	msbench -ablation alloc        §4:   replicated allocation areas
 //	msbench -ablation scavenge     §3.1: k·s eden scaling, ~3% GC share
+//	msbench -ablation inlinecache  extension: send-site MIC/PIC vs method cache
+//	msbench -json results.json     machine-readable Table 2 + IC ablation
 //	msbench -all               everything above
 //
 // All times are virtual milliseconds on the simulated Firefly; runs are
@@ -26,7 +28,8 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 matrix")
 	figure2 := flag.Bool("figure2", false, "run Table 2 and print it normalized (Figure 2)")
 	table3 := flag.Bool("table3", false, "print Table 3 (strategy applications)")
-	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge")
+	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache")
+	jsonPath := flag.String("json", "", "write machine-readable results (Table 2 + inline-cache ablation) to this file")
 	sweep := flag.Bool("sweep", false, "processor sweep (extension: busy overhead vs processor count)")
 	micro := flag.Bool("micro", false, "micro benchmark suite (extension: per-operation static costs)")
 	paradigms := flag.Bool("paradigms", false, "concurrent-programming style comparison (extension)")
@@ -34,7 +37,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	if !*table2 && !*figure2 && !*table3 && *ablation == "" && !*sweep && !*contention && !*micro && !*paradigms && !*all {
+	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +78,10 @@ func main() {
 			rows, err := bench.RunScavengeExperiment()
 			check(err)
 			fmt.Println(bench.FormatScavenge(rows))
+		case "inlinecache":
+			a, err := bench.RunInlineCacheAblation()
+			check(err)
+			fmt.Println(a.Format())
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
 			os.Exit(2)
@@ -84,7 +91,7 @@ func main() {
 		runAblation(*ablation)
 	}
 	if *all {
-		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge"} {
+		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache"} {
 			fmt.Fprintf(os.Stderr, "running ablation %s...\n", name)
 			runAblation(name)
 		}
@@ -112,6 +119,18 @@ func main() {
 		r, err := bench.RunContentionReport()
 		check(err)
 		fmt.Println(r.Format())
+	}
+	if *jsonPath != "" {
+		// Open the output first: fail on a bad path before spending
+		// time measuring.
+		f, err := os.Create(*jsonPath)
+		check(err)
+		fmt.Fprintln(os.Stderr, "running json report...")
+		r, err := bench.RunJSONReport()
+		check(err)
+		check(r.Write(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }
 

@@ -22,6 +22,8 @@ func main() {
 	expr := flag.String("e", "", "expression to evaluate")
 	procs := flag.Int("procs", 5, "virtual processors")
 	baseline := flag.Bool("baseline", false, "baseline BS mode (no multiprocessor support)")
+	msplus := flag.Bool("msplus", false, "MS+ mode: inline caches (PIC) and 2-way method cache")
+	ic := flag.String("ic", "", "inline-cache policy: off|mic|pic (overrides config default)")
 	idle := flag.Int("idle", 0, "background idle Processes to fork")
 	busy := flag.Int("busy", 0, "background busy Processes to fork")
 	transcript := flag.Bool("transcript", false, "print the Transcript after evaluation")
@@ -29,9 +31,24 @@ func main() {
 	flag.Parse()
 
 	cfg := mst.DefaultConfig()
-	cfg.Processors = *procs
 	if *baseline {
 		cfg = mst.BaselineConfig()
+	}
+	if *msplus {
+		cfg = mst.MSPlusConfig()
+	}
+	cfg.Processors = *procs
+	switch *ic {
+	case "":
+	case "off":
+		cfg.InlineCache = mst.ICOff
+	case "mic":
+		cfg.InlineCache = mst.ICMono
+	case "pic":
+		cfg.InlineCache = mst.ICPoly
+	default:
+		fmt.Fprintf(os.Stderr, "mst: unknown -ic policy %q (want off|mic|pic)\n", *ic)
+		os.Exit(2)
 	}
 	sys, err := mst.NewSystem(cfg)
 	check(err)
@@ -77,6 +94,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bytecodes=%d sends=%d cacheHits=%d cacheMisses=%d switches=%d\n",
 			st.Interp.Bytecodes, st.Interp.Sends, st.Interp.CacheHits,
 			st.Interp.CacheMisses, st.Interp.ProcessSwitches)
+		if st.Interp.ICHits+st.Interp.ICMisses > 0 {
+			fmt.Fprintf(os.Stderr, "icHits=%d icMisses=%d icFills=%d polySites=%d megaSites=%d\n",
+				st.Interp.ICHits, st.Interp.ICMisses, st.Interp.ICFills,
+				st.Interp.ICPolySites, st.Interp.ICMegaSites)
+		}
 		fmt.Fprintf(os.Stderr, "allocs=%d scavenges=%d copiedWords=%d virtualTime=%v\n",
 			st.Heap.Allocations, st.Heap.Scavenges, st.Heap.CopiedWords, sys.VirtualTime())
 		for _, l := range st.Locks {

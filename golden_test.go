@@ -1,0 +1,66 @@
+package mst_test
+
+import (
+	"testing"
+
+	"mst/internal/bench"
+)
+
+// Golden determinism test: the default configurations (the paper's
+// four system states) must produce bit-identical virtual times and
+// interpreter counters across commits. The inline-cache machinery and
+// the host-side dispatch optimizations are required to leave these
+// numbers untouched — anything that shifts them changed the modeled
+// virtual machine, not just the host implementation, and needs the
+// golden values re-derived deliberately.
+//
+// Values are from a fresh boot, first run of each benchmark.
+var goldenVMS = map[string]map[string]int64{
+	"baseline": {"printClassHierarchy": 486, "decompileClass": 175},
+	"ms":       {"printClassHierarchy": 503, "decompileClass": 182},
+	"ms-idle":  {"printClassHierarchy": 586, "decompileClass": 203},
+	"ms-busy":  {"printClassHierarchy": 670, "decompileClass": 237},
+}
+
+var goldenStats = map[string]struct {
+	sends, hits, misses, dict uint64
+}{
+	"baseline": {15234, 14259, 975, 3944},
+	"ms":       {15234, 14259, 975, 3944},
+	"ms-idle":  {15246, 14222, 1024, 3934},
+	"ms-busy":  {117828, 114769, 3059, 10428},
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			sys, err := bench.NewBenchSystem(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Shutdown()
+			for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+				vms, err := bench.RunMacro(sys, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := goldenVMS[st.Name][b]; vms != want {
+					t.Errorf("%s %s: vms = %d, want golden %d", st.Name, b, vms, want)
+				}
+			}
+			stats := sys.VM.Stats()
+			want := goldenStats[st.Name]
+			if stats.Sends != want.sends || stats.CacheHits != want.hits ||
+				stats.CacheMisses != want.misses || stats.DictProbes != want.dict {
+				t.Errorf("%s counters: sends=%d hits=%d misses=%d dict=%d, want %d/%d/%d/%d",
+					st.Name, stats.Sends, stats.CacheHits, stats.CacheMisses, stats.DictProbes,
+					want.sends, want.hits, want.misses, want.dict)
+			}
+			if stats.ICHits != 0 || stats.ICMisses != 0 || stats.ICFills != 0 {
+				t.Errorf("%s: inline caches active in a default config (hits=%d misses=%d fills=%d); they must be off",
+					st.Name, stats.ICHits, stats.ICMisses, stats.ICFills)
+			}
+		})
+	}
+}

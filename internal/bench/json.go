@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Machine-readable benchmark results (msbench -json): one file captures
+// the Table 2 matrix with interpreter counters and host-side wall time,
+// plus the inline-cache ablation, so successive PRs leave a comparable
+// perf trajectory (BENCH_*.json).
+
+// JSONBench is one benchmark on one state.
+type JSONBench struct {
+	Name      string `json:"name"`
+	VirtualMS int64  `json:"virtual_ms"`
+	HostNS    int64  `json:"host_ns"`
+}
+
+// JSONCounters are the interpreter counters accumulated across a
+// state's full run (boot + all benchmarks).
+type JSONCounters struct {
+	Bytecodes   uint64 `json:"bytecodes"`
+	Sends       uint64 `json:"sends"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	DictProbes  uint64 `json:"dict_probes"`
+	ICHits      uint64 `json:"ic_hits"`
+	ICMisses    uint64 `json:"ic_misses"`
+	ICFills     uint64 `json:"ic_fills"`
+}
+
+// JSONState is one system state's results.
+type JSONState struct {
+	State    string       `json:"state"`
+	Benches  []JSONBench  `json:"benches"`
+	Counters JSONCounters `json:"counters"`
+}
+
+// JSONICRow mirrors ICRow with hit rates precomputed.
+type JSONICRow struct {
+	State        string  `json:"state"`
+	Policy       string  `json:"policy"`
+	Benches      []int64 `json:"virtual_ms"`
+	ICHitRate    float64 `json:"ic_hit_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	ICFills      uint64  `json:"ic_fills"`
+	ICPolySites  uint64  `json:"ic_poly_sites"`
+	ICMegaSites  uint64  `json:"ic_mega_sites"`
+}
+
+// JSONReport is the full machine-readable result set.
+type JSONReport struct {
+	Schema       string      `json:"schema"`
+	Table2       []JSONState `json:"table2"`
+	ICBenches    []string    `json:"inline_cache_benches"`
+	ICIterations int         `json:"inline_cache_iterations"`
+	InlineCache  []JSONICRow `json:"inline_cache"`
+}
+
+// RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
+// time per benchmark, counters per state) and the inline-cache
+// ablation.
+func RunJSONReport() (*JSONReport, error) {
+	r := &JSONReport{Schema: "msbench/1"}
+	for _, st := range StandardStates() {
+		sys, err := NewBenchSystem(st)
+		if err != nil {
+			return nil, err
+		}
+		js := JSONState{State: st.Name}
+		for _, b := range MacroBenchmarks {
+			t0 := time.Now()
+			ms, err := RunMacro(sys, b.Selector)
+			if err != nil {
+				sys.Shutdown()
+				return nil, fmt.Errorf("bench: json %s/%s: %w", st.Name, b.Selector, err)
+			}
+			js.Benches = append(js.Benches, JSONBench{
+				Name:      b.Selector,
+				VirtualMS: ms,
+				HostNS:    time.Since(t0).Nanoseconds(),
+			})
+		}
+		s := sys.Stats().Interp
+		sys.Shutdown()
+		js.Counters = JSONCounters{
+			Bytecodes:   s.Bytecodes,
+			Sends:       s.Sends,
+			CacheHits:   s.CacheHits,
+			CacheMisses: s.CacheMisses,
+			DictProbes:  s.DictProbes,
+			ICHits:      s.ICHits,
+			ICMisses:    s.ICMisses,
+			ICFills:     s.ICFills,
+		}
+		r.Table2 = append(r.Table2, js)
+	}
+
+	ic, err := RunInlineCacheAblation()
+	if err != nil {
+		return nil, err
+	}
+	r.ICBenches = ic.Benches
+	r.ICIterations = ic.Iters
+	for i := range ic.Rows {
+		row := &ic.Rows[i]
+		r.InlineCache = append(r.InlineCache, JSONICRow{
+			State:        row.State,
+			Policy:       row.Policy,
+			Benches:      row.Ms,
+			ICHitRate:    row.ICHitRate(),
+			CacheHitRate: row.CacheHitRate(),
+			ICFills:      row.ICFills,
+			ICPolySites:  row.ICPolySites,
+			ICMegaSites:  row.ICMegaSites,
+		})
+	}
+	return r, nil
+}
+
+// Write emits the report as indented JSON.
+func (r *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

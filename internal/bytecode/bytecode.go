@@ -130,6 +130,29 @@ func IsSpecialSend(op Op) bool {
 	return op >= FirstSpecialSend && op <= LastSpecialSend
 }
 
+// IsSend reports whether op is any message-send instruction: a general
+// send, a super send, or a special-selector send. Every IsSend opcode is
+// a send site eligible for a per-site inline cache (the special sends
+// reach the full lookup path only when their inline fast path fails).
+func IsSend(op Op) bool {
+	return op == OpSend || op == OpSendSuper || IsSpecialSend(op)
+}
+
+// SendSites scans code and returns the pc of every send instruction, in
+// ascending order. The compiler uses it to count a method's send sites;
+// the interpreter's inline-cache layer uses it to index them.
+func SendSites(code []byte) []int {
+	var pcs []int
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		if IsSend(op) {
+			pcs = append(pcs, pc)
+		}
+		pc += 1 + OperandLen(op)
+	}
+	return pcs
+}
+
 // Special returns the selector/arity of a special send opcode.
 func Special(op Op) SpecialSend { return SpecialSends[op-FirstSpecialSend] }
 

@@ -44,9 +44,13 @@ type Method struct {
 	Primitive int
 	Clean     bool // creates no blocks, never touches thisContext
 	MaxStack  int
-	Code      []byte
-	Literals  []Lit
-	Source    string
+	// NumSendSites counts the send instructions in Code (general,
+	// super, and special sends alike). The interpreter's inline-cache
+	// layer allocates one cache slot per site.
+	NumSendSites int
+	Code         []byte
+	Literals     []Lit
+	Source       string
 }
 
 // Env resolves names the compiler cannot: instance variables (from the
@@ -154,15 +158,16 @@ func Generate(m *MethodNode, env Env, source string) (out *Method, err error) {
 		return nil, fmt.Errorf("compiler: %s: %v", m.Selector, err)
 	}
 	return &Method{
-		Selector:  m.Selector,
-		NumArgs:   len(m.Params),
-		NumTemps:  g.nTemps,
-		Primitive: m.Primitive,
-		Clean:     !g.usesBlocks && !g.usesCtx,
-		MaxStack:  maxD,
-		Code:      code,
-		Literals:  g.lits,
-		Source:    source,
+		Selector:     m.Selector,
+		NumArgs:      len(m.Params),
+		NumTemps:     g.nTemps,
+		Primitive:    m.Primitive,
+		Clean:        !g.usesBlocks && !g.usesCtx,
+		MaxStack:     maxD,
+		NumSendSites: len(bytecode.SendSites(code)),
+		Code:         code,
+		Literals:     g.lits,
+		Source:       source,
 	}, nil
 }
 

@@ -48,6 +48,13 @@ type Config struct {
 	FreeContexts interp.FreeCtxPolicy
 	Alloc        heap.AllocPolicy
 
+	// Extensions beyond the paper (MS+): per-send-site inline caches
+	// and a 2-way set-associative method cache. Both off/1 in
+	// DefaultConfig and BaselineConfig so the reproduced Table 2 /
+	// Figure 2 numbers are bit-identical to the paper-faithful system.
+	InlineCache interp.ICPolicy
+	CacheWays   int
+
 	// Object memory sizing, in 8-byte words.
 	EdenWords     int
 	SurvivorWords int
@@ -84,6 +91,17 @@ func BaselineConfig() Config {
 	c := DefaultConfig()
 	c.Mode = ModeBaseline
 	c.Processors = 1
+	return c
+}
+
+// MSPlusConfig is MS extended past the paper: polymorphic per-send-site
+// inline caches in front of the replicated method caches, and a 2-way
+// set-associative method cache. This is the configuration the
+// inline-cache ablation measures against DefaultConfig.
+func MSPlusConfig() Config {
+	c := DefaultConfig()
+	c.InlineCache = interp.ICPoly
+	c.CacheWays = 2
 	return c
 }
 
@@ -156,6 +174,8 @@ func NewSystem(cfg Config) (*System, error) {
 	vcfg := interp.Config{
 		MSMode:           cfg.Mode == ModeMS,
 		MethodCache:      cfg.MethodCache,
+		CacheWays:        cfg.CacheWays,
+		InlineCache:      cfg.InlineCache,
 		FreeContexts:     cfg.FreeContexts,
 		QuantumBytecodes: cfg.QuantumBytecodes,
 		PanicOnVMError:   true,

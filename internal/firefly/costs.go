@@ -15,6 +15,8 @@ type Costs struct {
 	CacheProbe    Time // one method-cache probe (hit or first probe of miss)
 	CacheReplica  Time // extra per-probe cost of indexing a replicated cache
 	LookupPerDict Time // probing one method dictionary on a cache miss
+	ICProbe       Time // probing a send site's inline cache (Deutsch–Schiffman)
+	ICFill        Time // (re)binding an inline-cache entry after a miss
 	PrimBase      Time // entering a primitive
 	FreeListPop   Time // recycling a context from a free list
 	ProcessSwitch Time // switching the interpreter to another Process
@@ -59,6 +61,8 @@ func DefaultCosts() Costs {
 		CacheProbe:    1,
 		CacheReplica:  1,
 		LookupPerDict: 10,
+		ICProbe:       1,
+		ICFill:        2,
 		PrimBase:      2,
 		FreeListPop:   2,
 		ProcessSwitch: 30,

@@ -15,7 +15,12 @@
 // Each processor's work function runs on its own goroutine, but a baton
 // protocol guarantees that exactly one goroutine (or the driver) executes
 // at any moment, so the simulated machine state needs no host-level
-// synchronization and every run is reproducible.
+// synchronization and every run is reproducible. The baton passes from a
+// yielding processor directly to the next scheduled processor (or stays
+// put when the yielder is scheduled again); the driver goroutine is only
+// involved when Run has to return. The scheduling decisions are the same
+// ones a driver-centered loop would make — only the host goroutine that
+// computes them differs — so virtual times are unaffected.
 package firefly
 
 import (
@@ -124,10 +129,30 @@ func (p *Proc) StallUntil(t Time) {
 // must poll it and return promptly when it becomes true.
 func (p *Proc) Stopped() bool { return p.m.shutdown }
 
-// Yield hands control back to the driver unconditionally. The driver will
-// resume this processor again when its clock is the smallest.
+// Yield ends this processor's quantum. The next scheduling decision is
+// made right here, on this goroutine: when this processor is scheduled
+// again Yield simply returns; when another is, the baton passes to it
+// directly; only a stop condition (until-predicate, time limit, all
+// done) routes through the driver goroutine so Run can return.
 func (p *Proc) Yield() {
-	p.m.toDriver <- struct{}{}
+	m := p.m
+	if m.shutdown {
+		// Shutdown resumes each processor so its work function can
+		// observe Stopped and return; don't reschedule.
+		return
+	}
+	next, reason, stop := m.schedule()
+	if stop {
+		m.pendingStop = true
+		m.stopReason = reason
+		m.toDriver <- struct{}{}
+		<-p.resume
+		return
+	}
+	if next == p {
+		return
+	}
+	next.resume <- struct{}{}
 	<-p.resume
 }
 
@@ -215,6 +240,13 @@ type Machine struct {
 	toDriver chan struct{}
 	running  bool
 	shutdown bool
+
+	// until is Run's stop predicate, checked between quanta wherever the
+	// scheduling decision happens; pendingStop/stopReason carry a stop
+	// detected on a processor goroutine back to Run.
+	until       func() bool
+	pendingStop bool
+	stopReason  StopReason
 
 	switches uint64
 
@@ -328,6 +360,31 @@ func (m *Machine) secondClock(p *Proc) Time {
 	return best
 }
 
+// schedule makes one driver-loop decision: check the stop conditions,
+// deliver external events that are due at or before the current virtual
+// moment, and pick the processor with the smallest clock for its next
+// quantum. It runs on whichever goroutine holds the baton. stop=true
+// means Run must return reason instead of dispatching.
+func (m *Machine) schedule() (next *Proc, reason StopReason, stop bool) {
+	if m.until != nil && m.until() {
+		return nil, StopUntil, true
+	}
+	p, min := m.minClock()
+	if p == nil {
+		return nil, StopAllDone, true
+	}
+	for len(m.events) > 0 && m.events[0].at <= min {
+		e := heap.Pop(&m.events).(*event)
+		e.fn()
+	}
+	if min > m.limit {
+		return nil, StopTimeLimit, true
+	}
+	p.yieldAt = m.secondClock(p) + m.quantum
+	m.switches++
+	return p, 0, false
+}
+
 // Run drives the machine until the predicate becomes true (checked between
 // quanta), every work function returns, or virtual time passes the limit.
 // Run may be called repeatedly to continue the same machine.
@@ -340,28 +397,24 @@ func (m *Machine) Run(until func() bool) StopReason {
 	}
 	m.running = true
 	defer func() { m.running = false }()
+	m.until = until
+	defer func() { m.until = nil }()
 
 	for {
-		if until != nil && until() {
-			return StopUntil
+		next, reason, stop := m.schedule()
+		if stop {
+			return reason
 		}
-		p, min := m.minClock()
-		if p == nil {
-			return StopAllDone
-		}
-		// Deliver external events that are due at or before the
-		// current virtual moment.
-		for len(m.events) > 0 && m.events[0].at <= min {
-			e := heap.Pop(&m.events).(*event)
-			e.fn()
-		}
-		if min > m.limit {
-			return StopTimeLimit
-		}
-		p.yieldAt = m.secondClock(p) + m.quantum
-		m.switches++
-		p.resume <- struct{}{}
+		next.resume <- struct{}{}
 		<-m.toDriver
+		if m.pendingStop {
+			// A processor's Yield detected a stop condition and handed
+			// the baton back.
+			m.pendingStop = false
+			return m.stopReason
+		}
+		// Otherwise a work function returned; dispatch the next
+		// processor from here.
 	}
 }
 

@@ -81,7 +81,7 @@ func (vm *VM) MaterializeMethod(p *firefly.Proc, m *compiler.Method, methodClass
 
 	mo := vm.H.Allocate(p, vm.Specials.CompiledMethod, MethodInstSize, object.FmtPointers)
 	vm.H.StoreNoCheck(mo, CMHeader,
-		encodeMethodHeader(m.NumArgs, m.NumTemps, m.MaxStack, m.Primitive, m.Clean))
+		encodeMethodHeader(m.NumArgs, m.NumTemps, m.MaxStack, m.Primitive, m.Clean, m.NumSendSites))
 	vm.H.Store(p, mo, CMLiterals, litsH.Get())
 	vm.H.Store(p, mo, CMBytes, bytesH.Get())
 	vm.H.Store(p, mo, CMSelector, selH.Get())
@@ -222,11 +222,16 @@ func (vm *VM) growMethodDict(p *firefly.Proc, class object.OOP) {
 }
 
 func (vm *VM) flushAllCaches() {
-	for i := range vm.sharedCache {
-		vm.sharedCache[i] = mcEntry{}
+	if vm.sharedCache != nil {
+		*vm.sharedCache = [cacheSize]mcEntry{}
 	}
 	for _, in := range vm.Interps {
 		in.flushCache()
+		// Inline caches bind class→method; a (re)definition makes any
+		// of them stale. The decoded-code cache stays: bytecode objects
+		// are immutable once installed.
+		in.flushIC()
+		in.refreshCode()
 	}
 }
 

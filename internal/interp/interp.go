@@ -37,16 +37,52 @@ type Interp struct {
 	busAccum firefly.Time
 
 	// Per-processor replicas (paper §3.2).
-	cache     []mcEntry    // method cache (CacheReplicated)
-	freeSmall []object.OOP // free context lists (FreeCtxPerProcessor);
-	freeLarge []object.OOP // NOT roots: flushed at every scavenge
+	cache     *[cacheSize]mcEntry // method cache (CacheReplicated)
+	freeSmall []object.OOP        // free context lists (FreeCtxPerProcessor);
+	freeLarge []object.OOP        // NOT roots: flushed at every scavenge
+
+	// Host-side caches of the executing method, derived from the
+	// register roots (NOT roots themselves: re-derived after scavenges
+	// via refreshCode, flushed with the method caches). code is the
+	// decoded bytecode slice, lits the literal frame, icm the method's
+	// inline-cache state (nil when ICs are off).
+	code []byte
+	lits object.OOP
+	icm  *icMethod
+
+	codeCache map[object.OOP][]byte   // bytes oop → decoded code
+	ic        map[object.OOP]*icMethod // method oop → inline caches
+
+	// Configuration and cost constants hoisted out of the dispatch loop.
+	costs        *firefly.Costs
+	probeCost    firefly.Time // per method-cache probe, replication included
+	sharedLocked bool         // MethodCache == CacheSharedLocked
+	twoWay       bool         // CacheWays == 2
+	icPolicy     ICPolicy
 }
 
 func newInterp(vm *VM, p *firefly.Proc) *Interp {
 	in := &Interp{vm: vm, p: p, proc: object.Nil, ctx: object.Nil,
-		method: object.Nil, receiver: object.Nil, bytes: object.Nil, home: object.Nil}
+		method: object.Nil, receiver: object.Nil, bytes: object.Nil, home: object.Nil,
+		lits:      object.Nil,
+		codeCache: map[object.OOP][]byte{},
+		costs:     vm.M.Costs(),
+		sharedLocked: vm.Cfg.MethodCache == CacheSharedLocked,
+		twoWay:       vm.Cfg.CacheWays == 2,
+		icPolicy:     vm.Cfg.InlineCache,
+	}
+	in.probeCost = in.costs.CacheProbe
+	if vm.Cfg.MSMode && vm.Cfg.MethodCache == CacheReplicated {
+		// The paper notes replication's drawback: "more overhead is
+		// involved in access to the cache because it is replicated."
+		in.probeCost += in.costs.CacheReplica
+	}
 	if vm.Cfg.MethodCache == CacheReplicated {
-		in.cache = make([]mcEntry, cacheSize)
+		in.cache = new([cacheSize]mcEntry)
+	}
+	if in.icPolicy != ICOff {
+		in.ic = map[object.OOP]*icMethod{}
+		vm.H.AddRootFunc(in.icVisitRoots)
 	}
 	h := vm.H
 	h.AddRoot(&in.ctx)
@@ -76,8 +112,8 @@ func (in *Interp) setProc(o object.OOP) {
 }
 
 func (in *Interp) flushCache() {
-	for i := range in.cache {
-		in.cache[i] = mcEntry{}
+	if in.cache != nil {
+		*in.cache = [cacheSize]mcEntry{}
 	}
 }
 
@@ -135,9 +171,10 @@ func (in *Interp) Quantum() {
 	in.p.CheckYield()
 }
 
-// fetchByte reads the next code byte.
+// fetchByte reads the next code byte (from the decoded host-side copy
+// of the method's bytecode; see codeFor).
 func (in *Interp) fetchByte() int {
-	b := in.vm.H.FetchByte(in.bytes, in.pc)
+	b := in.code[in.pc]
 	in.pc++
 	return int(b)
 }
@@ -211,7 +248,7 @@ func (in *Interp) tempSlot(n int) (object.OOP, int) {
 func (in *Interp) step() {
 	vm := in.vm
 	h := vm.H
-	c := vm.M.Costs()
+	c := in.costs
 	vm.stats.Bytecodes++
 	in.p.Advance(c.Bytecode)
 
@@ -302,15 +339,15 @@ func (in *Interp) step() {
 	case bytecode.OpSend:
 		lit := in.fetchByte()
 		nargs := in.fetchByte()
-		in.send(in.literalAt(lit), nargs, false)
+		in.send(in.literalAt(lit), nargs, false, in.pc-3)
 	case bytecode.OpSendSuper:
 		lit := in.fetchByte()
 		nargs := in.fetchByte()
-		in.send(in.literalAt(lit), nargs, true)
+		in.send(in.literalAt(lit), nargs, true, in.pc-3)
 
 	default:
 		if bytecode.IsSpecialSend(op) {
-			in.specialSend(op)
+			in.specialSend(op, in.pc-1)
 			return
 		}
 		vm.vmError("bad bytecode %d at pc %d", op, in.pc-1)
@@ -318,10 +355,10 @@ func (in *Interp) step() {
 	}
 }
 
-// literalAt returns literal frame entry i of the current method.
+// literalAt returns literal frame entry i of the current method (the
+// frame oop is cached in a register-derived slot; see loadContext).
 func (in *Interp) literalAt(i int) object.OOP {
-	lits := in.vm.H.Fetch(in.method, CMLiterals)
-	return in.vm.H.Fetch(lits, i)
+	return in.vm.H.Fetch(in.lits, i)
 }
 
 // pushBlock creates a BlockContext for a PushBlock bytecode.
@@ -379,6 +416,11 @@ func (in *Interp) loadContext(ctx object.OOP) {
 	in.method = h.Fetch(in.home, CtxMethod)
 	in.receiver = h.Fetch(in.home, CtxReceiver)
 	in.bytes = h.Fetch(in.method, CMBytes)
+	in.lits = h.Fetch(in.method, CMLiterals)
+	in.code = in.codeFor(in.bytes)
+	if in.icPolicy != ICOff {
+		in.icm = in.icFor(in.method, in.code)
+	}
 	in.pc = int(h.Fetch(ctx, CtxPC).Int())
 	in.sp = int(h.Fetch(ctx, CtxSP).Int())
 	in.slotCap = h.FieldCount(ctx) - in.base

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -734,5 +735,120 @@ func TestContextStackOverflowIsAnError(t *testing.T) {
 	// OOM panic is caught and the evaluation fails cleanly.
 	if _, err := vm.Evaluate("Deep2 new down"); err == nil {
 		t.Fatal("infinite recursion succeeded?!")
+	}
+}
+
+// TestStaleMethodCacheOnInstall is the regression test for method
+// installation racing warm caches: an evaluation warms a send site and
+// the per-processor (or shared) method cache, then — mid-run, through
+// the compile primitive — installs a replacement method. flushAllCaches
+// must invalidate every cache level on every interpreter so the very
+// next send binds the new method.
+func TestStaleMethodCacheOnInstall(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		cache CachePolicy
+	}{
+		{"replicated", CacheReplicated},
+		{"shared-locked", CacheSharedLocked},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			vm := testVM(t, 3, func(cfg *Config, hcfg *heap.Config) {
+				cfg.MethodCache = mode.cache
+			})
+			p := vm.Interps[0].p
+			cls := vm.CreateClass(p, "Hot", vm.Specials.Object, nil, KindFixed, "Tests")
+			mustInstall := func(c object.OOP, src string) {
+				t.Helper()
+				if _, err := vm.CompileAndInstall(p, c, src, "tests"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustInstall(cls, "answer ^1")
+			mustInstall(vm.H.ClassOf(cls),
+				"compile: src classified: cat <primitive: 85> ^self error: 'compile failed'")
+			// Other interpreters are running (idle loop) while this one
+			// warms the caches and swaps the method underneath itself.
+			src := `| h warm r |
+				h := Hot new.
+				warm := 0.
+				1 to: 10 do: [:i | warm := warm + h answer].
+				Hot compile: 'answer ^100' classified: 'gen'.
+				r := h answer.
+				warm + r`
+			if got := evalInt(t, vm, src); got != 10+100 {
+				t.Errorf("%s: warm+fresh = %d, want 110 (stale cache entry survived install)", mode.name, got)
+			}
+			// A second install while the new method is itself warm.
+			if got := evalInt(t, vm, "Hot compile: 'answer ^7' classified: 'gen'. Hot new answer"); got != 7 {
+				t.Errorf("%s: second install = %d, want 7", mode.name, got)
+			}
+		})
+	}
+}
+
+// TestDoesNotUnderstandThroughSharedCache exercises the DNU path when
+// every interpreter shares one locked method cache: the failed lookup
+// (and the fallback send of #doesNotUnderstand:) go through the shared
+// cache under its lock.
+func TestDoesNotUnderstandThroughSharedCache(t *testing.T) {
+	vm := testVM(t, 2, func(cfg *Config, hcfg *heap.Config) {
+		cfg.MethodCache = CacheSharedLocked
+	})
+	p := vm.Interps[0].p
+	cls := vm.CreateClass(p, "Echo2", vm.Specials.Object, nil, KindFixed, "Tests")
+	if _, err := vm.CompileAndInstall(p, cls,
+		"doesNotUnderstand: aMessage ^(aMessage instVarAt: 2) size", "tests"); err != nil {
+		t.Fatal(err)
+	}
+	if got := evalInt(t, vm, "Echo2 new mystery: 1 with: 2"); got != 2 {
+		t.Errorf("DNU through shared cache = %d, want 2", got)
+	}
+	if vm.Stats().DNUs == 0 {
+		t.Error("no DNU counted")
+	}
+	// And the error path: an unhandled DNU still fails the evaluation.
+	if _, err := vm.Evaluate("3 frobnicate"); err == nil {
+		t.Error("unhandled DNU succeeded")
+	}
+}
+
+// TestParallelLookupSharedCache has workers on distinct processors
+// hammer method lookup of disjoint selectors through one shared locked
+// method cache — the configuration the paper measured as "much too
+// slow" but which must stay correct. Run under -race this also checks
+// the host-side locking of the shared cache array.
+func TestParallelLookupSharedCache(t *testing.T) {
+	vm := testVM(t, 4, func(cfg *Config, hcfg *heap.Config) {
+		cfg.MethodCache = CacheSharedLocked
+	})
+	p := vm.Interps[0].p
+	for i, src := range []string{
+		"alpha: n | s | s := 0. 1 to: n do: [:i | s := s + i]. ^s",
+		"beta: n | s | s := 1. 1 to: n do: [:i | s := s + 2]. ^s",
+		"gamma: n ^n * 3",
+	} {
+		cls := vm.CreateClass(p, fmt.Sprintf("Par%d", i), vm.Specials.Object, nil, KindFixed, "Tests")
+		if _, err := vm.CompileAndInstall(p, cls, src, "tests"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := `| sem results |
+		sem := Semaphore new.
+		results := Array new: 3.
+		[| s | s := 0. 1 to: 30 do: [:i | s := Par0 new alpha: 100].
+		 results at: 1 put: s. sem signal] fork.
+		[| s | s := 0. 1 to: 30 do: [:i | s := Par1 new beta: 100].
+		 results at: 2 put: s. sem signal] fork.
+		[| s | s := 0. 1 to: 30 do: [:i | s := Par2 new gamma: 100].
+		 results at: 3 put: s. sem signal] fork.
+		sem wait. sem wait. sem wait.
+		(results at: 1) + (results at: 2) + (results at: 3)`
+	if got := evalInt(t, vm, src); got != 5050+201+300 {
+		t.Errorf("parallel shared-cache lookups = %d, want %d", got, 5050+201+300)
+	}
+	if vm.Stats().CacheHits == 0 {
+		t.Error("shared cache never hit")
 	}
 }

@@ -95,7 +95,7 @@ func (in *Interp) primPerform(nargs int) bool {
 		in.vm.H.Store(in.p, in.ctx, in.base+in.sp-nargs+i, v)
 	}
 	in.popN(1)
-	in.send(sel, k, false)
+	in.send(sel, k, false, -1)
 	return true
 }
 
@@ -117,7 +117,7 @@ func (in *Interp) primPerformWithArgs(nargs int) bool {
 	for i := 0; i < n; i++ {
 		in.push(h.Fetch(args, i))
 	}
-	in.send(sel, n, false)
+	in.send(sel, n, false, -1)
 	return true
 }
 

@@ -373,7 +373,7 @@ func (in *Interp) canRun(target object.OOP) bool {
 // queue cheaply, with the V kernel Delay equivalent between polls.
 func (in *Interp) idleStep() {
 	vm := in.vm
-	in.p.AdvanceIdle(vm.M.Costs().IdlePoll)
+	in.p.AdvanceIdle(in.costs.IdlePoll)
 	if !vm.schedLock.TryAcquire(in.p) {
 		in.p.CheckYield()
 		return
@@ -395,7 +395,7 @@ func (in *Interp) idleStep() {
 // [the scheduler] asynchronously, in response to input events").
 func (in *Interp) pollDevices() {
 	vm := in.vm
-	in.p.Advance(vm.M.Costs().EventPoll)
+	in.p.Advance(in.costs.EventPoll)
 	// Timers.
 	for len(vm.delays) > 0 && vm.delays[0].wake <= in.p.Now() {
 		sem := vm.delays[0].sem

@@ -27,18 +27,10 @@ func cacheIndex(selector, class object.OOP) int {
 // all the way up the chain (doesNotUnderstand:).
 func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 	vm := in.vm
-	c := vm.M.Costs()
 
-	probeCost := c.CacheProbe
-	if vm.Cfg.MSMode && vm.Cfg.MethodCache == CacheReplicated {
-		// The paper notes replication's drawback: "more overhead is
-		// involved in access to the cache because it is replicated."
-		probeCost += c.CacheReplica
-	}
-
-	var cache []mcEntry
+	var cache *[cacheSize]mcEntry
 	locked := false
-	if vm.Cfg.MethodCache == CacheSharedLocked {
+	if in.sharedLocked {
 		// MS's first design: a shared cache behind a two-level lock
 		// (probes take the read side; fills take the write side).
 		vm.cacheLock.AcquireRead(in.p)
@@ -48,7 +40,7 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 		cache = in.cache
 	}
 	idx := cacheIndex(selector, class)
-	in.p.Advance(probeCost)
+	in.p.Advance(in.probeCost)
 	if e := &cache[idx]; e.selector == selector && e.class == class {
 		m, prim := e.method, e.prim
 		if locked {
@@ -56,6 +48,19 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 		}
 		vm.stats.CacheHits++
 		return m, prim, true
+	}
+	if in.twoWay {
+		// Extension (CacheWays=2): a second probe of the adjacent entry
+		// turns many conflict misses into hits, at one extra probe cost.
+		in.p.Advance(in.probeCost)
+		if e := &cache[idx^1]; e.selector == selector && e.class == class {
+			m, prim := e.method, e.prim
+			if locked {
+				vm.cacheLock.ReleaseRead(in.p)
+			}
+			vm.stats.CacheHits++
+			return m, prim, true
+		}
 	}
 	if locked {
 		vm.cacheLock.ReleaseRead(in.p)
@@ -68,7 +73,10 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 	}
 	prim := headerPrim(vm.H.Fetch(method, CMHeader))
 
-	if vm.Cfg.MethodCache == CacheSharedLocked {
+	if in.twoWay && cache[idx].selector != object.Invalid && cache[idx^1].selector == object.Invalid {
+		idx ^= 1 // fill the empty way instead of evicting
+	}
+	if in.sharedLocked {
 		vm.cacheLock.AcquireWrite(in.p)
 		vm.sharedCache[idx] = mcEntry{selector, class, method, prim}
 		vm.cacheLock.ReleaseWrite(in.p)
@@ -82,7 +90,7 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 func (in *Interp) walkLookup(class, selector object.OOP) (object.OOP, bool) {
 	vm := in.vm
 	h := vm.H
-	c := vm.M.Costs()
+	c := in.costs
 	for cls := class; cls != object.Nil; cls = h.Fetch(cls, ClsSuperclass) {
 		in.p.Advance(c.LookupPerDict)
 		vm.stats.DictProbes++
@@ -116,13 +124,16 @@ func (vm *VM) methodDictLookup(dict, selector object.OOP) (object.OOP, bool) {
 	return object.Nil, false
 }
 
-// send performs a full message send: lookup (through the cache), then
-// primitive or method activation; on total lookup failure it reships
-// the message as doesNotUnderstand:.
-func (in *Interp) send(selector object.OOP, nargs int, super bool) {
+// send performs a full message send: inline-cache probe (when enabled),
+// then lookup through the method cache, then primitive or method
+// activation; on total lookup failure it reships the message as
+// doesNotUnderstand:. sitePC is the pc of the send opcode within the
+// current method (-1 for sends with no site: perform:, DNU reship),
+// which identifies the send site for the inline-cache layer.
+func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 	vm := in.vm
 	vm.stats.Sends++
-	in.p.Advance(vm.M.Costs().SendExtra)
+	in.p.Advance(in.costs.SendExtra)
 
 	receiver := in.stackAt(nargs)
 	var class object.OOP
@@ -134,14 +145,40 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool) {
 		class = vm.ClassOf(receiver)
 	}
 
-	method, prim, ok := in.lookup(class, selector)
-	if !ok {
-		in.sendDNU(selector, nargs)
-		return
+	var method object.OOP
+	var prim int
+	hit := false
+	var fillSite *icSite
+	if in.icPolicy != ICOff && sitePC >= 0 && in.icm != nil {
+		if si := in.icm.siteIndex(sitePC); si >= 0 {
+			// Megamorphic sites were retired (Hölzle): the send goes
+			// straight to the method cache, paying no probe.
+			if site := &in.icm.sites[si]; !site.mega {
+				in.p.Advance(in.costs.ICProbe)
+				if m, p, ok := site.probe(class); ok {
+					vm.stats.ICHits++
+					method, prim, hit = m, p, true
+				} else {
+					vm.stats.ICMisses++
+					fillSite = site
+				}
+			}
+		}
+	}
+	if !hit {
+		var ok bool
+		method, prim, ok = in.lookup(class, selector)
+		if !ok {
+			in.sendDNU(selector, nargs)
+			return
+		}
+		if fillSite != nil {
+			in.icFill(fillSite, class, method, prim)
+		}
 	}
 	if prim > 0 {
 		vm.stats.Primitives++
-		in.p.Advance(vm.M.Costs().PrimBase)
+		in.p.Advance(in.costs.PrimBase)
 		if in.callPrimitive(prim, nargs) {
 			return
 		}
@@ -323,7 +360,7 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 // MAY GC when the free list is empty.
 func (in *Interp) allocContext(large bool) object.OOP {
 	vm := in.vm
-	c := vm.M.Costs()
+	c := in.costs
 	if vm.Cfg.FreeContexts == FreeCtxSharedLocked {
 		which := 0
 		if large {
@@ -362,8 +399,8 @@ func (in *Interp) allocContext(large bool) object.OOP {
 
 // specialSend executes a special-selector send, with inline fast paths
 // for the common cases; otherwise it falls back to a normal send of the
-// pre-interned selector.
-func (in *Interp) specialSend(op bytecode.Op) {
+// pre-interned selector. sitePC is the pc of the send opcode.
+func (in *Interp) specialSend(op bytecode.Op, sitePC int) {
 	vm := in.vm
 	h := vm.H
 	spec := bytecode.Special(op)
@@ -463,7 +500,7 @@ func (in *Interp) specialSend(op bytecode.Op) {
 	}
 
 	// Fast path failed: a real send of the pre-interned selector.
-	in.send(vm.specialSelectors[op-bytecode.FirstSpecialSend], spec.NumArgs, false)
+	in.send(vm.specialSelectors[op-bytecode.FirstSpecialSend], spec.NumArgs, false, sitePC)
 }
 
 func intArith(op bytecode.Op, a, b int64) (object.OOP, bool) {
@@ -687,7 +724,7 @@ func (in *Interp) blockValue(blk object.OOP, nargs int) bool {
 	h.StoreNoCheck(blk, BCtxPC, h.Fetch(blk, BCtxInitialPC))
 	h.StoreNoCheck(blk, BCtxSP, object.FromInt(0))
 	in.loadContext(blk)
-	in.p.Advance(vm.M.Costs().SendExtra)
+	in.p.Advance(in.costs.SendExtra)
 	return true
 }
 

@@ -42,6 +42,34 @@ func (c CachePolicy) String() string {
 	return "replicated"
 }
 
+// ICPolicy selects the per-send-site inline-cache organization — the
+// Deutsch–Schiffman lineage the paper's successors adopted. It is an
+// extension beyond the paper: the default (paper-faithful) configuration
+// keeps it off, so Table 2 / Figure 2 numbers are unchanged.
+type ICPolicy int
+
+const (
+	// ICOff disables inline caches: every send goes straight to the
+	// per-processor (or shared) method cache. The paper's design.
+	ICOff ICPolicy = iota
+	// ICMono gives each send site one monomorphic entry (a classic
+	// Deutsch–Schiffman inline cache): a class mismatch rebinds it.
+	ICMono
+	// ICPoly upgrades a site to a small polymorphic cache (up to
+	// icWays class→method entries) on class mismatch, Hölzle-style.
+	ICPoly
+)
+
+func (p ICPolicy) String() string {
+	switch p {
+	case ICMono:
+		return "monomorphic"
+	case ICPoly:
+		return "polymorphic"
+	}
+	return "off"
+}
+
 // FreeCtxPolicy selects the free-context-list organization.
 type FreeCtxPolicy int
 
@@ -68,6 +96,14 @@ type Config struct {
 	MSMode bool
 	// MethodCache selects the cache strategy (paper §3.2).
 	MethodCache CachePolicy
+	// CacheWays selects the method cache's set associativity: 1 (the
+	// paper's direct-mapped cache, the default — 0 normalizes to 1) or
+	// 2 (an extension: a second probe of the adjacent entry converts
+	// many conflict misses into hits).
+	CacheWays int
+	// InlineCache selects the per-send-site inline-cache policy (an
+	// extension; off by default for paper fidelity).
+	InlineCache ICPolicy
 	// FreeContexts selects the free-list strategy (paper §3.2).
 	FreeContexts FreeCtxPolicy
 	// QuantumBytecodes bounds one interpreter quantum.
@@ -214,20 +250,29 @@ func DecodeFormat(f object.OOP) (instSize int, kind ClassKind) {
 	return int(v >> 3), ClassKind(v & 7)
 }
 
-// Method header packing (a SmallInteger in CMHeader).
-func encodeMethodHeader(nargs, ntemps, maxStack, prim int, clean bool) object.OOP {
+// Method header packing (a SmallInteger in CMHeader). Send-site counts
+// above the 12-bit field saturate to the maximum; the inline-cache layer
+// trusts its own bytecode scan for the true site list and uses the
+// header count only as an allocation hint and a zero-site fast path
+// (a saturated count is still nonzero, so such methods stay cached).
+func encodeMethodHeader(nargs, ntemps, maxStack, prim int, clean bool, sendSites int) object.OOP {
+	if sendSites > 0xFFF {
+		sendSites = 0xFFF
+	}
 	v := int64(nargs) | int64(ntemps)<<8 | int64(maxStack)<<20 | int64(prim)<<32
 	if clean {
 		v |= 1 << 44
 	}
+	v |= int64(sendSites) << 45
 	return object.FromInt(v)
 }
 
-func headerNumArgs(h object.OOP) int  { return int(h.Int() & 0xFF) }
-func headerNumTemps(h object.OOP) int { return int(h.Int() >> 8 & 0xFFF) }
-func headerMaxStack(h object.OOP) int { return int(h.Int() >> 20 & 0xFFF) }
-func headerPrim(h object.OOP) int     { return int(h.Int() >> 32 & 0xFFF) }
-func headerClean(h object.OOP) bool   { return h.Int()>>44&1 != 0 }
+func headerNumArgs(h object.OOP) int   { return int(h.Int() & 0xFF) }
+func headerNumTemps(h object.OOP) int  { return int(h.Int() >> 8 & 0xFFF) }
+func headerMaxStack(h object.OOP) int  { return int(h.Int() >> 20 & 0xFFF) }
+func headerPrim(h object.OOP) int      { return int(h.Int() >> 32 & 0xFFF) }
+func headerClean(h object.OOP) bool    { return h.Int()>>44&1 != 0 }
+func headerSendSites(h object.OOP) int { return int(h.Int() >> 45 & 0xFFF) }
 
 // Specials holds the well-known objects; every field is a GC root.
 type Specials struct {
@@ -263,6 +308,11 @@ type Stats struct {
 	Sends            uint64
 	CacheHits        uint64
 	CacheMisses      uint64
+	ICHits           uint64 // inline-cache hits (per-send-site, extension)
+	ICMisses         uint64 // inline-cache misses (cold, conflict, or class change)
+	ICFills          uint64 // inline-cache entry (re)bindings
+	ICPolySites      uint64 // sites upgraded monomorphic → polymorphic
+	ICMegaSites      uint64 // polymorphic sites retired as megamorphic
 	DictProbes       uint64
 	DNUs             uint64
 	Primitives       uint64
@@ -291,8 +341,8 @@ type VM struct {
 	cacheLock *firefly.RWSpinlock // CacheSharedLocked only (two-level: readers overlap)
 	freeLock  *firefly.Spinlock   // FreeCtxSharedLocked only
 
-	sharedCache   []mcEntry       // CacheSharedLocked only
-	sharedFreeCtx [2][]object.OOP // small/large shared free lists
+	sharedCache   *[cacheSize]mcEntry // CacheSharedLocked only
+	sharedFreeCtx [2][]object.OOP     // small/large shared free lists
 	charTable     []object.OOP    // ASCII characters, roots
 
 	// Symbol interning: slice is the root set, map caches name→index.
@@ -341,6 +391,9 @@ func New(m *firefly.Machine, h *heap.Heap, cfg Config) *VM {
 	if cfg.QuantumBytecodes <= 0 {
 		cfg.QuantumBytecodes = 400
 	}
+	if cfg.CacheWays != 2 {
+		cfg.CacheWays = 1
+	}
 	vm := &VM{
 		Cfg:       cfg,
 		M:         m,
@@ -353,7 +406,7 @@ func New(m *firefly.Machine, h *heap.Heap, cfg Config) *VM {
 		symbolIdx: map[string]int{},
 	}
 	if cfg.MethodCache == CacheSharedLocked {
-		vm.sharedCache = make([]mcEntry, cacheSize)
+		vm.sharedCache = new([cacheSize]mcEntry)
 	}
 
 	// Register roots.
@@ -375,16 +428,29 @@ func New(m *firefly.Machine, h *heap.Heap, cfg Config) *VM {
 		visitSpecials(&vm.Specials, visit)
 	})
 	h.OnPreScavenge(func() {
-		// Method caches hold raw oops keyed by address: flush. The
-		// free context lists are not roots; drop them too.
-		for i := range vm.sharedCache {
-			vm.sharedCache[i] = mcEntry{}
+		// Method caches, inline caches, and decoded-code caches hold
+		// raw oops keyed by address: flush. The free context lists are
+		// not roots; drop them too.
+		if vm.sharedCache != nil {
+			for i := range vm.sharedCache {
+				vm.sharedCache[i] = mcEntry{}
+			}
 		}
 		for _, in := range vm.Interps {
 			in.flushCache()
+			in.flushCode()
 		}
 		vm.sharedFreeCtx[0] = vm.sharedFreeCtx[0][:0]
 		vm.sharedFreeCtx[1] = vm.sharedFreeCtx[1][:0]
+	})
+	h.OnPostScavenge(func() {
+		// The interpreters' register roots were updated by the move:
+		// re-key the (persistent) inline caches and re-decode the code
+		// each interpreter is currently executing.
+		for _, in := range vm.Interps {
+			in.rekeyIC()
+			in.refreshCode()
+		}
 	})
 
 	for i := 0; i < m.NumProcs(); i++ {

@@ -70,6 +70,17 @@ const (
 	FreeCtxSharedLocked = interp.FreeCtxSharedLocked
 )
 
+// ICPolicy selects the per-send-site inline-cache strategy (an MS+
+// extension beyond the paper; off by default for paper fidelity).
+type ICPolicy = interp.ICPolicy
+
+// Inline-cache policies.
+const (
+	ICOff  = interp.ICOff
+	ICMono = interp.ICMono
+	ICPoly = interp.ICPoly
+)
+
 // AllocPolicy selects the allocation strategy (paper §3.1 and §4).
 type AllocPolicy = heap.AllocPolicy
 
@@ -99,6 +110,11 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Smalltalk on the Firefly with no multiprocessor support, one
 // processor.
 func BaselineConfig() Config { return core.BaselineConfig() }
+
+// MSPlusConfig is MS extended past the paper: polymorphic per-send-site
+// inline caches in front of the replicated method caches, and a 2-way
+// set-associative method cache.
+func MSPlusConfig() Config { return core.MSPlusConfig() }
 
 // LoadImage boots a system from a snapshot written by System.SaveImage
 // or by `Smalltalk snapshotTo: 'path'`. Processes on the snapshotted
