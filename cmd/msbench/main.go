@@ -10,6 +10,10 @@
 //	msbench -ablation scavenge     §3.1: k·s eden scaling, ~3% GC share
 //	msbench -ablation inlinecache  extension: send-site MIC/PIC vs method cache
 //	msbench -json results.json     machine-readable Table 2 + IC ablation
+//	msbench -trace out.json    flight-record one busy benchmark; export
+//	                           Chrome trace-event JSON for ui.perfetto.dev
+//	msbench -profile           selector-level virtual-time profile of the
+//	                           same run (combine with -trace for both)
 //	msbench -all               everything above
 //
 // All times are virtual milliseconds on the simulated Firefly; runs are
@@ -34,10 +38,12 @@ func main() {
 	micro := flag.Bool("micro", false, "micro benchmark suite (extension: per-operation static costs)")
 	paradigms := flag.Bool("paradigms", false, "concurrent-programming style comparison (extension)")
 	contention := flag.Bool("contention", false, "per-state lock contention report (extension)")
+	tracePath := flag.String("trace", "", "flight-record a busy benchmark and write Perfetto JSON to this file")
+	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile of a busy benchmark")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && !*all {
+	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,6 +125,15 @@ func main() {
 		r, err := bench.RunContentionReport()
 		check(err)
 		fmt.Println(r.Format())
+	}
+	if *tracePath != "" || *profile {
+		fmt.Fprintln(os.Stderr, "running observed benchmark (flight recorder on)...")
+		r, err := bench.RunObserved(*tracePath, *profile)
+		check(err)
+		r.Format(os.Stdout)
+		if *tracePath != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s (open in ui.perfetto.dev)\n", *tracePath)
+		}
 	}
 	if *jsonPath != "" {
 		// Open the output first: fail on a bad path before spending

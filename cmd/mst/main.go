@@ -6,6 +6,9 @@
 //	mst -e "3 + 4"
 //	mst -e "Transcript show: 'hi'" -transcript
 //	mst -procs 5 -busy 4 -e "MacroBenchmark..." app.st
+//	mst -trace out.json -e "..."     flight-record the run; open the
+//	                                 JSON in ui.perfetto.dev
+//	mst -profile -e "..."            selector-level virtual-time profile
 //	echo "Smalltalk allClasses size" | mst
 package main
 
@@ -28,6 +31,8 @@ func main() {
 	busy := flag.Int("busy", 0, "background busy Processes to fork")
 	transcript := flag.Bool("transcript", false, "print the Transcript after evaluation")
 	stats := flag.Bool("stats", false, "print system statistics after evaluation")
+	tracePath := flag.String("trace", "", "flight-record the run and write Perfetto trace JSON to this file")
+	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile after evaluation")
 	flag.Parse()
 
 	cfg := mst.DefaultConfig()
@@ -50,6 +55,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mst: unknown -ic policy %q (want off|mic|pic)\n", *ic)
 		os.Exit(2)
 	}
+	if *tracePath != "" {
+		cfg.TraceEvents = mst.DefaultTraceEvents
+	}
+	cfg.Profile = *profile
 	sys, err := mst.NewSystem(cfg)
 	check(err)
 	defer sys.Shutdown()
@@ -88,6 +97,18 @@ func main() {
 
 	if *transcript {
 		fmt.Print(sys.TranscriptText())
+	}
+	if *profile {
+		rep, err := sys.ProfileReport(25)
+		check(err)
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		check(err)
+		check(sys.WriteTrace(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "mst: wrote %s (open in ui.perfetto.dev)\n", *tracePath)
 	}
 	if *stats {
 		st := sys.Stats()

@@ -1,9 +1,12 @@
 package mst_test
 
 import (
+	"reflect"
 	"testing"
 
 	"mst/internal/bench"
+	"mst/internal/core"
+	"mst/internal/trace"
 )
 
 // Golden determinism test: the default configurations (the paper's
@@ -29,6 +32,65 @@ var goldenStats = map[string]struct {
 	"ms":       {15234, 14259, 975, 3944},
 	"ms-idle":  {15246, 14222, 1024, 3934},
 	"ms-busy":  {117828, 114769, 3059, 10428},
+}
+
+// TestGoldenTraceInvariance: attaching the flight recorder and the
+// selector profiler must not move virtual time or any counter. Every
+// emission happens host-side behind a nil check; this test is the
+// enforcement — each standard state runs once untraced and once with
+// both observers on, and the virtual times and the complete Stats
+// snapshot must match bit-for-bit.
+func TestGoldenTraceInvariance(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(observed bool) outcome {
+				s := st
+				if observed {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.TraceEvents = trace.DefaultRingSize
+						cfg.Profile = true
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				if observed {
+					if sys.Metrics().Trace.Events == 0 {
+						t.Error("observed run recorded no events")
+					}
+				}
+				return o
+			}
+			plain, observed := run(false), run(true)
+			if !reflect.DeepEqual(plain.vms, observed.vms) {
+				t.Errorf("%s: virtual times diverge with tracing on: %v vs %v",
+					st.Name, plain.vms, observed.vms)
+			}
+			if !reflect.DeepEqual(plain.stats, observed.stats) {
+				t.Errorf("%s: stats diverge with tracing on:\nuntraced: %+v\ntraced:   %+v",
+					st.Name, plain.stats, observed.stats)
+			}
+		})
+	}
 }
 
 func TestGoldenDeterminism(t *testing.T) {

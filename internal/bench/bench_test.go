@@ -205,27 +205,37 @@ func TestContentionReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.States) != 4 || len(r.Locks) == 0 {
-		t.Fatalf("report = %+v", r)
+	locks := r.Locks()
+	if len(r.States) != 4 || len(r.Metrics) != 4 || len(locks) == 0 {
+		t.Fatalf("report shape: states=%v locks=%v", r.States, locks)
 	}
 	// Baseline uses no locks at all.
-	for li := range r.Locks {
-		if r.Acquisitions[0][li] != 0 {
-			t.Errorf("baseline acquired lock %s", r.Locks[li])
+	for _, l := range r.Metrics[0].Locks {
+		if l.Acquisitions != 0 {
+			t.Errorf("baseline acquired lock %s", l.Name)
 		}
 	}
 	// The busy state contends the alloc lock (the paper's suspicion).
+	busy := r.Metrics[len(r.Metrics)-1]
 	allocIdx := -1
-	for i, n := range r.Locks {
-		if n == "alloc" {
+	for i, l := range busy.Locks {
+		if l.Name == "alloc" {
 			allocIdx = i
 		}
 	}
-	busyIdx := len(r.States) - 1
-	if allocIdx < 0 || r.Contentions[busyIdx][allocIdx] == 0 {
+	if allocIdx < 0 || busy.Locks[allocIdx].Contentions == 0 {
 		t.Error("no alloc-lock contention in the busy state")
 	}
-	if out := r.Format(); !strings.Contains(out, "alloc") {
+	// The busy state's processors spin; percentages must be derived.
+	var spinPct float64
+	for _, p := range busy.Procs {
+		spinPct += p.SpinPct
+	}
+	if spinPct <= 0 {
+		t.Error("busy state reports no per-processor spin share")
+	}
+	out := r.Format()
+	if !strings.Contains(out, "alloc") || !strings.Contains(out, "spin ") {
 		t.Errorf("format:\n%s", out)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"mst/internal/core"
 	"mst/internal/firefly"
+	"mst/internal/trace"
 )
 
 // The paper's §6 plans "to add sufficient instrumentation to MS to
@@ -73,19 +74,31 @@ func FormatSweep(rows []SweepRow) string {
 	return b.String()
 }
 
-// ContentionReport is the per-state lock-contention table.
+// ContentionReport is the per-state contention view of the unified
+// metrics registry: every lock's statistics (under the lock's single
+// registration name) plus each processor's spin and stall time as a
+// share of that processor's own clock.
 type ContentionReport struct {
-	States []string
-	Locks  []string
-	// Contentions[state][lock], Spin[state][lock] in virtual time.
-	Acquisitions [][]uint64
-	Contentions  [][]uint64
-	Spin         [][]firefly.Time
+	States  []string
+	Metrics []trace.Metrics // one snapshot per state, same order
+}
+
+// Locks returns the lock registration names (identical across states;
+// locks are registered in a fixed order at boot).
+func (r *ContentionReport) Locks() []string {
+	if len(r.Metrics) == 0 {
+		return nil
+	}
+	names := make([]string, len(r.Metrics[0].Locks))
+	for i, l := range r.Metrics[0].Locks {
+		names[i] = l.Name
+	}
+	return names
 }
 
 // RunContentionReport runs one benchmark under each standard state and
-// collects every lock's acquisition/contention/spin statistics — the
-// resource-contention instrumentation the paper planned.
+// snapshots the metrics registry — the resource-contention
+// instrumentation the paper planned.
 func RunContentionReport() (*ContentionReport, error) {
 	r := &ContentionReport{}
 	for _, st := range StandardStates() {
@@ -97,29 +110,16 @@ func RunContentionReport() (*ContentionReport, error) {
 			sys.Shutdown()
 			return nil, err
 		}
-		stats := sys.Stats()
+		m := sys.Metrics()
 		sys.Shutdown()
-		if r.Locks == nil {
-			for _, l := range stats.Locks {
-				r.Locks = append(r.Locks, l.Name)
-			}
-		}
 		r.States = append(r.States, st.Name)
-		var acq, cont []uint64
-		var spin []firefly.Time
-		for _, l := range stats.Locks {
-			acq = append(acq, l.Acquisitions)
-			cont = append(cont, l.Contentions)
-			spin = append(spin, l.SpinTime)
-		}
-		r.Acquisitions = append(r.Acquisitions, acq)
-		r.Contentions = append(r.Contentions, cont)
-		r.Spin = append(r.Spin, spin)
+		r.Metrics = append(r.Metrics, m)
 	}
 	return r, nil
 }
 
-// Format renders the contention report.
+// Format renders the contention report: the per-lock table, then the
+// per-processor spin/stall shares.
 func (r *ContentionReport) Format() string {
 	var b strings.Builder
 	b.WriteString("Lock contention by system state (extension; paper §6 instrumentation):\n")
@@ -131,11 +131,40 @@ func (r *ContentionReport) Format() string {
 	b.WriteString("\n")
 	b.WriteString(strings.Repeat("-", 14+28*len(r.States)))
 	b.WriteString("\n")
-	for li, lock := range r.Locks {
+	for li, lock := range r.Locks() {
 		fmt.Fprintf(&b, "%-14s", lock)
 		for si := range r.States {
+			l := r.Metrics[si].Locks[li]
 			cell := fmt.Sprintf("%d/%d/%s",
-				r.Acquisitions[si][li], r.Contentions[si][li], r.Spin[si][li])
+				l.Acquisitions, l.Contentions, firefly.Time(l.SpinTicks))
+			fmt.Fprintf(&b, "%28s", cell)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\nPer-processor spin and stall time (% of that processor's clock):\n\n")
+	fmt.Fprintf(&b, "%-14s", "proc")
+	for _, s := range r.States {
+		fmt.Fprintf(&b, "%28s", s)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 14+28*len(r.States)))
+	b.WriteString("\n")
+	maxProcs := 0
+	for _, m := range r.Metrics {
+		if len(m.Procs) > maxProcs {
+			maxProcs = len(m.Procs)
+		}
+	}
+	for pi := 0; pi < maxProcs; pi++ {
+		fmt.Fprintf(&b, "cpu %-10d", pi)
+		for si := range r.States {
+			if pi >= len(r.Metrics[si].Procs) {
+				fmt.Fprintf(&b, "%28s", "-")
+				continue
+			}
+			p := r.Metrics[si].Procs[pi]
+			cell := fmt.Sprintf("spin %.2f%% stall %.2f%%", p.SpinPct, p.StallPct)
 			fmt.Fprintf(&b, "%28s", cell)
 		}
 		b.WriteString("\n")

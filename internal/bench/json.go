@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"mst/internal/trace"
 )
 
 // Machine-readable benchmark results (msbench -json): one file captures
@@ -19,24 +21,14 @@ type JSONBench struct {
 	HostNS    int64  `json:"host_ns"`
 }
 
-// JSONCounters are the interpreter counters accumulated across a
-// state's full run (boot + all benchmarks).
-type JSONCounters struct {
-	Bytecodes   uint64 `json:"bytecodes"`
-	Sends       uint64 `json:"sends"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
-	DictProbes  uint64 `json:"dict_probes"`
-	ICHits      uint64 `json:"ic_hits"`
-	ICMisses    uint64 `json:"ic_misses"`
-	ICFills     uint64 `json:"ic_fills"`
-}
-
-// JSONState is one system state's results.
+// JSONState is one system state's results: per-benchmark times plus the
+// unified metrics registry snapshot accumulated across the state's full
+// run (boot + all benchmarks). The metrics block replaced the ad-hoc
+// counters struct in schema msbench/2.
 type JSONState struct {
-	State    string       `json:"state"`
-	Benches  []JSONBench  `json:"benches"`
-	Counters JSONCounters `json:"counters"`
+	State   string        `json:"state"`
+	Benches []JSONBench   `json:"benches"`
+	Metrics trace.Metrics `json:"metrics"`
 }
 
 // JSONICRow mirrors ICRow with hit rates precomputed.
@@ -51,20 +43,25 @@ type JSONICRow struct {
 	ICMegaSites  uint64  `json:"ic_mega_sites"`
 }
 
-// JSONReport is the full machine-readable result set.
+// JSONReport is the full machine-readable result set. SchemaVersion
+// tracks trace.MetricsSchemaVersion; Schema is its human-readable twin.
 type JSONReport struct {
-	Schema       string      `json:"schema"`
-	Table2       []JSONState `json:"table2"`
-	ICBenches    []string    `json:"inline_cache_benches"`
-	ICIterations int         `json:"inline_cache_iterations"`
-	InlineCache  []JSONICRow `json:"inline_cache"`
+	Schema        string      `json:"schema"`
+	SchemaVersion int         `json:"schemaVersion"`
+	Table2        []JSONState `json:"table2"`
+	ICBenches     []string    `json:"inline_cache_benches"`
+	ICIterations  int         `json:"inline_cache_iterations"`
+	InlineCache   []JSONICRow `json:"inline_cache"`
 }
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
 // time per benchmark, counters per state) and the inline-cache
 // ablation.
 func RunJSONReport() (*JSONReport, error) {
-	r := &JSONReport{Schema: "msbench/1"}
+	r := &JSONReport{
+		Schema:        fmt.Sprintf("msbench/%d", trace.MetricsSchemaVersion),
+		SchemaVersion: trace.MetricsSchemaVersion,
+	}
 	for _, st := range StandardStates() {
 		sys, err := NewBenchSystem(st)
 		if err != nil {
@@ -84,18 +81,8 @@ func RunJSONReport() (*JSONReport, error) {
 				HostNS:    time.Since(t0).Nanoseconds(),
 			})
 		}
-		s := sys.Stats().Interp
+		js.Metrics = sys.Metrics()
 		sys.Shutdown()
-		js.Counters = JSONCounters{
-			Bytecodes:   s.Bytecodes,
-			Sends:       s.Sends,
-			CacheHits:   s.CacheHits,
-			CacheMisses: s.CacheMisses,
-			DictProbes:  s.DictProbes,
-			ICHits:      s.ICHits,
-			ICMisses:    s.ICMisses,
-			ICFills:     s.ICFills,
-		}
 		r.Table2 = append(r.Table2, js)
 	}
 

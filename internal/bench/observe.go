@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mst/internal/core"
+	"mst/internal/trace"
+)
+
+// ObserveResult is one observed benchmark run: the flight-recorder
+// trace, the selector profile, and the metrics snapshot, produced
+// together by RunObserved for the msbench -trace / -profile flags.
+type ObserveResult struct {
+	State     string
+	Benchmark string
+	VirtualMS int64
+	Metrics   trace.Metrics
+	Profile   string // empty unless profiling was requested
+}
+
+// RunObserved runs one macro benchmark on the ms-busy standard state
+// with the flight recorder attached (and, when profile is set, the
+// selector profiler). The busy state is the interesting one to observe:
+// all five processors execute, the locks contend, and the scavenger
+// runs. The trace is written to tracePath when non-empty.
+func RunObserved(tracePath string, profile bool) (*ObserveResult, error) {
+	states := StandardStates()
+	st := states[len(states)-1] // ms-busy
+	base := st.Config
+	st.Config = func() core.Config {
+		cfg := base()
+		cfg.TraceEvents = trace.DefaultRingSize
+		cfg.Profile = profile
+		return cfg
+	}
+	sys, err := NewBenchSystem(st)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Shutdown()
+
+	const selector = "printClassHierarchy"
+	ms, err := RunMacro(sys, selector)
+	if err != nil {
+		return nil, fmt.Errorf("bench: observed %s/%s: %w", st.Name, selector, err)
+	}
+	res := &ObserveResult{
+		State:     st.Name,
+		Benchmark: selector,
+		VirtualMS: ms,
+		Metrics:   sys.Metrics(),
+	}
+	if profile {
+		rep, err := sys.ProfileReport(25)
+		if err != nil {
+			return nil, err
+		}
+		res.Profile = rep
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.WriteTrace(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Format renders the observed run's summary.
+func (r *ObserveResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "observed %s on %s: %d virtual ms\n", r.Benchmark, r.State, r.VirtualMS)
+	fmt.Fprintf(w, "flight recorder: %d events emitted, %d overwritten by the ring\n",
+		r.Metrics.Trace.Events, r.Metrics.Trace.Dropped)
+	if r.Profile != "" {
+		fmt.Fprintf(w, "\n%s", r.Profile)
+	}
+}

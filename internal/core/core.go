@@ -15,6 +15,7 @@ import (
 	"mst/internal/image"
 	"mst/internal/interp"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // Mode selects baseline BS or Multiprocessor Smalltalk.
@@ -63,6 +64,13 @@ type Config struct {
 
 	QuantumBytecodes int
 	TimeLimit        firefly.Time // 0: none
+
+	// Observability (zero cost when off; never changes virtual time or
+	// any counter when on). TraceEvents is the flight-recorder ring
+	// capacity in events (0 disables tracing); Profile attaches the
+	// selector-level virtual-time profiler after boot.
+	TraceEvents int
+	Profile     bool
 
 	// ExtraSources are additional chunk-format sources filed in after
 	// the kernel (applications, benchmarks).
@@ -184,10 +192,17 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.TimeLimit > 0 {
 		m.SetTimeLimit(cfg.TimeLimit)
 	}
+	if cfg.TraceEvents > 0 {
+		// Attach before boot so every layer caches the recorder.
+		m.SetRecorder(trace.NewRecorder(cfg.TraceEvents))
+	}
 	sources := append([]string{busyWorkerSource}, cfg.ExtraSources...)
 	vm, err := image.BootOn(m, hcfg, vcfg, sources...)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Profile {
+		vm.EnableProfiler()
 	}
 	return &System{Cfg: cfg, VM: vm}, nil
 }
@@ -275,6 +290,106 @@ func (s *System) Stats() Stats {
 		Locks:  m.LockStats(),
 		Procs:  procs,
 	}
+}
+
+// Metrics assembles the unified metrics registry: every layer's
+// counters in one typed, versioned snapshot with derived percentages.
+// All reports (msbench -json, -contention, mst -stats) read from it.
+func (s *System) Metrics() trace.Metrics {
+	m := s.VM.M
+	hs := s.VM.H.Stats()
+	is := s.VM.Stats()
+	var mt trace.Metrics
+	mt.Machine = trace.MachineMetrics{
+		NumProcs:         m.NumProcs(),
+		Switches:         m.Switches(),
+		VirtualTimeTicks: int64(s.VirtualTime()),
+	}
+	for i := 0; i < m.NumProcs(); i++ {
+		ps := m.Proc(i).Stats()
+		mt.Procs = append(mt.Procs, trace.ProcMetrics{
+			Proc:       i,
+			BusyTicks:  int64(ps.Busy),
+			SpinTicks:  int64(ps.Spin),
+			StallTicks: int64(ps.Stall),
+			IdleTicks:  int64(ps.Idle),
+			ClockTicks: int64(ps.Clock),
+		})
+	}
+	for _, l := range m.LockStats() {
+		mt.Locks = append(mt.Locks, trace.LockMetrics{
+			Name:         l.Name,
+			Acquisitions: l.Acquisitions,
+			Contentions:  l.Contentions,
+			SpinTicks:    int64(l.SpinTime),
+		})
+	}
+	mt.Heap = trace.HeapMetrics{
+		Allocations:       hs.Allocations,
+		AllocatedWords:    hs.AllocatedWords,
+		TLABRefills:       hs.TLABRefills,
+		Scavenges:         hs.Scavenges,
+		CopiedObjects:     hs.CopiedObjects,
+		CopiedWords:       hs.CopiedWords,
+		TenuredObjects:    hs.TenuredObjects,
+		TenuredWords:      hs.TenuredWords,
+		StoreChecks:       hs.StoreChecks,
+		ScavengeTicks:     int64(hs.ScavengeTime),
+		LastSurvivors:     hs.LastSurvivors,
+		RememberedPeak:    hs.RememberedPeak,
+		OldWordsInUse:     hs.OldWordsInUse,
+		EdenWordsInUse:    hs.EdenWordsInUse,
+		FullCollections:   hs.FullCollections,
+		FullGCTicks:       int64(hs.FullGCTime),
+		ReclaimedOldWords: hs.ReclaimedOldWords,
+	}
+	mt.Interp = trace.InterpMetrics{
+		Bytecodes:        is.Bytecodes,
+		Sends:            is.Sends,
+		CacheHits:        is.CacheHits,
+		CacheMisses:      is.CacheMisses,
+		ICHits:           is.ICHits,
+		ICMisses:         is.ICMisses,
+		ICFills:          is.ICFills,
+		ICPolySites:      is.ICPolySites,
+		ICMegaSites:      is.ICMegaSites,
+		DictProbes:       is.DictProbes,
+		DNUs:             is.DNUs,
+		Primitives:       is.Primitives,
+		PrimFailures:     is.PrimFailures,
+		ContextsAlloc:    is.ContextsAlloc,
+		ContextsRecycled: is.ContextsRecycled,
+		ProcessSwitches:  is.ProcessSwitches,
+		SemWaits:         is.SemWaits,
+		SemSignals:       is.SemSignals,
+		VMErrors:         is.VMErrors,
+	}
+	if r := m.Recorder(); r != nil {
+		mt.Trace = trace.TraceMetrics{Events: r.Total(), Dropped: r.Dropped()}
+	}
+	mt.Derive()
+	return mt
+}
+
+// WriteTrace exports the flight recorder's contents as Chrome
+// trace-event / Perfetto JSON. It errors when tracing was not enabled.
+func (s *System) WriteTrace(w io.Writer) error {
+	r := s.VM.M.Recorder()
+	if r == nil {
+		return fmt.Errorf("core: tracing was not enabled (Config.TraceEvents)")
+	}
+	return trace.WritePerfetto(w, r.Events(), s.VM.M.NumProcs())
+}
+
+// ProfileReport finalizes the selector profiler and renders its top-N
+// table. It errors when profiling was not enabled.
+func (s *System) ProfileReport(topN int) (string, error) {
+	pf := s.VM.Profiler()
+	if pf == nil {
+		return "", fmt.Errorf("core: profiling was not enabled (Config.Profile)")
+	}
+	s.VM.ProfilerFlush()
+	return pf.Report(topN), nil
 }
 
 // VirtualTime returns the maximum virtual clock across processors.

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"mst/internal/firefly"
+	"mst/internal/trace"
 )
 
 // Command is one display output command.
@@ -70,6 +71,9 @@ func (d *Display) PostText(p *firefly.Proc, text string, x, y int) {
 	d.lock.Acquire(p)
 	p.Advance(p.Machine().Costs().DisplayOp)
 	d.commands = append(d.commands, Command{Text: text, X: x, Y: y, At: p.Now()})
+	if r := p.Machine().Recorder(); r != nil {
+		r.Emit(trace.KDisplayOp, p.ID(), int64(p.Now()), int64(len(d.commands)), 0, "")
+	}
 	d.lock.Release(p)
 }
 
@@ -80,6 +84,9 @@ func (d *Display) TranscriptShow(p *firefly.Proc, text string) {
 	p.Advance(p.Machine().Costs().DisplayOp)
 	d.transcript.WriteString(text)
 	d.commands = append(d.commands, Command{Text: text, X: -1, Y: -1, At: p.Now()})
+	if r := p.Machine().Recorder(); r != nil {
+		r.Emit(trace.KDisplayOp, p.ID(), int64(p.Now()), int64(len(d.commands)), 0, "")
+	}
 	d.lock.Release(p)
 }
 
@@ -122,6 +129,9 @@ func (s *Sensor) Take(p *firefly.Proc) (e Event, ok bool) {
 		s.pending = s.pending[:len(s.pending)-1]
 		ok = true
 		p.Advance(p.Machine().Costs().InputOp)
+		if r := p.Machine().Recorder(); r != nil {
+			r.Emit(trace.KInputOp, p.ID(), int64(p.Now()), int64(len(s.pending)), 0, "")
+		}
 	}
 	s.lock.Release(p)
 	return e, ok

@@ -1,6 +1,10 @@
 package firefly
 
-import "fmt"
+import (
+	"fmt"
+
+	"mst/internal/trace"
+)
 
 // Spinlock is a virtual spinlock in the style of the V system locks used
 // by MS: an interlocked test-and-set, and on failure a minimal-timeout
@@ -66,12 +70,18 @@ func (l *Spinlock) Acquire(p *Proc) {
 		wait := l.freeAt - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
 		spin := rounds * c.LockSpinRetry
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, l.name)
+		}
 		p.AdvanceSpin(spin)
 		l.spinTime += spin
 	}
 	l.held = true
 	l.holder = p.id
 	l.acquisitions++
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
+	}
 }
 
 // TryAcquire takes the lock if it is free at the processor's current
@@ -88,11 +98,17 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 	}
 	if p.clock < l.freeAt {
 		l.contentions++
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockContend, p.id, int64(p.clock), 0, 0, l.name)
+		}
 		return false
 	}
 	l.held = true
 	l.holder = p.id
 	l.acquisitions++
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
+	}
 	return true
 }
 
@@ -108,6 +124,9 @@ func (l *Spinlock) Release(p *Proc) {
 	l.held = false
 	p.Advance(p.m.costs.LockRelease)
 	l.freeAt = p.clock
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 1, l.name)
+	}
 }
 
 // Held reports whether the lock is currently held (always false when
@@ -150,8 +169,14 @@ func (l *RWSpinlock) AcquireRead(p *Proc) {
 		wait := in.freeAt - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
 		spin := rounds * c.LockSpinRetry
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
+		}
 		p.AdvanceSpin(spin)
 		in.spinTime += spin
+	}
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 0, in.name)
 	}
 }
 
@@ -164,6 +189,9 @@ func (l *RWSpinlock) ReleaseRead(p *Proc) {
 	p.Advance(p.m.costs.LockRelease)
 	if p.clock > l.readsEnd {
 		l.readsEnd = p.clock
+	}
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 0, l.inner.name)
 	}
 }
 
@@ -186,8 +214,14 @@ func (l *RWSpinlock) AcquireWrite(p *Proc) {
 		wait := horizon - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
 		spin := rounds * c.LockSpinRetry
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
+		}
 		p.AdvanceSpin(spin)
 		in.spinTime += spin
+	}
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, in.name)
 	}
 }
 
@@ -198,4 +232,7 @@ func (l *RWSpinlock) ReleaseWrite(p *Proc) {
 	}
 	p.Advance(p.m.costs.LockRelease)
 	l.inner.freeAt = p.clock
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 1, l.inner.name)
+	}
 }

@@ -26,6 +26,8 @@ package firefly
 import (
 	"container/heap"
 	"fmt"
+
+	"mst/internal/trace"
 )
 
 // Time is virtual time in ticks. One tick is one microsecond of simulated
@@ -120,6 +122,9 @@ func (p *Proc) AdvanceIdle(c Time) {
 // accounting the gap as garbage-collection stall time.
 func (p *Proc) StallUntil(t Time) {
 	if t > p.clock {
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KStall, p.id, int64(p.clock), int64(t-p.clock), 0, "")
+		}
 		p.stall += t - p.clock
 		p.clock = t
 	}
@@ -141,6 +146,9 @@ func (p *Proc) Yield() {
 		// observe Stopped and return; don't reschedule.
 		return
 	}
+	if r := m.rec; r != nil {
+		r.Emit(trace.KQuantumEnd, p.id, int64(p.clock), 0, 0, "")
+	}
 	next, reason, stop := m.schedule()
 	if stop {
 		m.pendingStop = true
@@ -151,6 +159,9 @@ func (p *Proc) Yield() {
 	}
 	if next == p {
 		return
+	}
+	if r := m.rec; r != nil {
+		r.Emit(trace.KHandoff, p.id, int64(p.clock), int64(next.id), 0, "")
 	}
 	next.resume <- struct{}{}
 	<-p.resume
@@ -250,6 +261,10 @@ type Machine struct {
 
 	switches uint64
 
+	// rec is the optional flight recorder; nil means tracing is off and
+	// every emission site reduces to one pointer check.
+	rec *trace.Recorder
+
 	// activeProcs counts processors currently executing Smalltalk
 	// Processes (not idling). The shared memory bus degrades as more
 	// processors actively execute; see Costs.BusDivisor.
@@ -297,6 +312,13 @@ func (m *Machine) SetTimeLimit(t Time) { m.limit = t }
 
 // Switches returns how many processor resumptions the driver performed.
 func (m *Machine) Switches() uint64 { return m.switches }
+
+// SetRecorder attaches a flight recorder; nil detaches it. Recording
+// never changes virtual time or any counter, only observes them.
+func (m *Machine) SetRecorder(r *trace.Recorder) { m.rec = r }
+
+// Recorder returns the attached flight recorder, or nil.
+func (m *Machine) Recorder() *trace.Recorder { return m.rec }
 
 // Start installs fn as processor i's work function and starts its
 // goroutine, parked until the driver first schedules it. The function
@@ -382,6 +404,9 @@ func (m *Machine) schedule() (next *Proc, reason StopReason, stop bool) {
 	}
 	p.yieldAt = m.secondClock(p) + m.quantum
 	m.switches++
+	if m.rec != nil {
+		m.rec.Emit(trace.KQuantumStart, p.id, int64(p.clock), 0, 0, "")
+	}
 	return p, 0, false
 }
 

@@ -3,6 +3,7 @@ package heap
 import (
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // Allocate creates a new object of the given class with bodyWords logical
@@ -121,6 +122,9 @@ func (h *Heap) reserve(p *firefly.Proc, total int) uint64 {
 			return h.reserveOld(p, total)
 		}
 		p.Advance(c.Alloc)
+		if h.rec != nil {
+			h.rec.Emit(trace.KEdenFull, p.ID(), int64(p.Now()), int64(total), 0, "")
+		}
 		h.Scavenge(p)
 	}
 }
@@ -159,6 +163,9 @@ func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
 		h.allocLock.Release(p)
 		if attempt > 0 {
 			return h.reserveOld(p, total)
+		}
+		if h.rec != nil {
+			h.rec.Emit(trace.KEdenFull, p.ID(), int64(p.Now()), int64(total), 0, "")
 		}
 		h.Scavenge(p)
 	}

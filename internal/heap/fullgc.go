@@ -3,6 +3,7 @@ package heap
 import (
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // FullCollect performs a stop-the-world full collection: a scavenge to
@@ -15,6 +16,9 @@ import (
 // (the immortal nil/true/false area) never moves.
 func (h *Heap) FullCollect(p *firefly.Proc) {
 	start := p.Now()
+	if h.rec != nil {
+		h.rec.Emit(trace.KFullGCBegin, p.ID(), int64(start), 0, 0, "")
+	}
 
 	// Empty eden and one survivor space first, so new space holds only
 	// the past-survivor objects and every other live object is in old
@@ -172,6 +176,9 @@ func (h *Heap) FullCollect(p *firefly.Proc) {
 	h.stats.FullCollections++
 	h.stats.FullGCTime += p.Now() - start
 	h.stats.ReclaimedOldWords += reclaimed
+	if h.rec != nil {
+		h.rec.Emit(trace.KFullGCEnd, p.ID(), int64(p.Now()), int64(reclaimed), 0, "")
+	}
 
 	for _, f := range h.postGC {
 		f()

@@ -17,6 +17,7 @@ import (
 
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // AllocPolicy selects how new-space allocation is synchronized.
@@ -150,6 +151,14 @@ type Heap struct {
 
 	hashSeed uint32
 
+	// rec is the machine's flight recorder (nil when tracing is off),
+	// cached here so hot allocation paths pay one pointer check. gcProc
+	// and gcAt identify the in-progress scavenge for events emitted from
+	// deep inside forward(), which has no processor parameter.
+	rec    *trace.Recorder
+	gcProc int
+	gcAt   int64
+
 	stats Stats
 }
 
@@ -175,6 +184,7 @@ func New(m *firefly.Machine, cfg Config) *Heap {
 		cfg: cfg,
 		m:   m,
 		mem: make([]uint64, total),
+		rec: m.Recorder(),
 	}
 	base := uint64(object.FirstFreeAddress)
 	h.old = space{base: base, limit: base + uint64(cfg.OldWords), next: base}

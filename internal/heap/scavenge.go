@@ -5,6 +5,7 @@ import (
 
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // Scavenge performs one stop-the-world generation scavenge on processor
@@ -27,6 +28,10 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 	defer func() { h.inGC = false }()
 
 	start := p.Now()
+	if h.rec != nil {
+		h.rec.Emit(trace.KScavengeBegin, p.ID(), int64(start), 0, 0, "")
+	}
+	h.gcProc, h.gcAt = p.ID(), int64(start)
 	for _, f := range h.preGC {
 		f()
 	}
@@ -110,6 +115,9 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 	h.stats.Scavenges++
 	h.stats.LastSurvivors = words
 	h.stats.ScavengeTime += p.Now() - start
+	if h.rec != nil {
+		h.rec.Emit(trace.KScavengeEnd, p.ID(), int64(p.Now()), int64(objs), int64(words), "")
+	}
 
 	for _, f := range h.postGC {
 		f()
@@ -140,6 +148,9 @@ func (h *Heap) forward(o object.OOP) object.OOP {
 		h.old.next += uint64(size)
 		h.stats.TenuredObjects++
 		h.stats.TenuredWords += uint64(size)
+		if h.rec != nil {
+			h.rec.Emit(trace.KTenure, h.gcProc, h.gcAt, int64(size), 0, "")
+		}
 		age = 0
 	} else {
 		dst = h.to.next

@@ -7,6 +7,7 @@ import (
 	"mst/internal/bytecode"
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // Interp is one replicated interpreter: the paper's unit of parallelism
@@ -59,6 +60,11 @@ type Interp struct {
 	sharedLocked bool         // MethodCache == CacheSharedLocked
 	twoWay       bool         // CacheWays == 2
 	icPolicy     ICPolicy
+
+	// rec caches the machine's flight recorder (nil = tracing off);
+	// profFrames is profSync's reusable frame scratch (see profile.go).
+	rec        *trace.Recorder
+	profFrames []string
 }
 
 func newInterp(vm *VM, p *firefly.Proc) *Interp {
@@ -67,6 +73,7 @@ func newInterp(vm *VM, p *firefly.Proc) *Interp {
 		lits:      object.Nil,
 		codeCache: map[object.OOP][]byte{},
 		costs:     vm.M.Costs(),
+		rec:       vm.M.Recorder(),
 		sharedLocked: vm.Cfg.MethodCache == CacheSharedLocked,
 		twoWay:       vm.Cfg.CacheWays == 2,
 		icPolicy:     vm.Cfg.InlineCache,
@@ -424,6 +431,9 @@ func (in *Interp) loadContext(ctx object.OOP) {
 	in.pc = int(h.Fetch(ctx, CtxPC).Int())
 	in.sp = int(h.Fetch(ctx, CtxSP).Int())
 	in.slotCap = h.FieldCount(ctx) - in.base
+	if in.vm.prof != nil {
+		in.profSync()
+	}
 }
 
 // DescribeOOP renders an oop for diagnostics (Go-side, no image code).

@@ -1,0 +1,130 @@
+package interp
+
+import (
+	"mst/internal/object"
+	"mst/internal/trace"
+)
+
+// Selector-level profiler plumbing. The interpreter's loadContext is the
+// single chokepoint where the executing method changes (sends, returns,
+// block activations, process switches all pass through it), so profSync
+// runs there: it walks the live context chain host-side, renders each
+// frame as a qualified "Class>>selector" name, and hands the stack to
+// the trace.Profiler with the processor's busy-tick clock.
+//
+// Everything here observes without perturbing: the walk reads the heap
+// (Fetch/Bytes only, no mutation, no IdentityHash — that would assign
+// hash bits lazily), holds no oops across operations that could GC, and
+// charges no virtual time. Name caches are keyed by oop and flushed
+// before every scavenge because objects move.
+
+// EnableProfiler attaches a selector profiler to the VM. Call after boot
+// so image-build time is not charged; the per-processor busy baselines
+// are primed from the current clocks.
+func (vm *VM) EnableProfiler() {
+	if vm.prof != nil {
+		return
+	}
+	vm.prof = trace.NewProfiler(vm.M.NumProcs())
+	vm.methodNames = map[object.OOP]string{}
+	vm.selectorNames = map[object.OOP]string{}
+	vm.H.OnPreScavenge(func() {
+		clear(vm.methodNames)
+		clear(vm.selectorNames)
+	})
+	for i, in := range vm.Interps {
+		vm.prof.Prime(i, int64(in.p.Stats().Busy))
+		in.profSync()
+	}
+}
+
+// Profiler returns the attached profiler, or nil.
+func (vm *VM) Profiler() *trace.Profiler { return vm.prof }
+
+// ProfilerFlush finalizes attribution at the processors' current busy
+// clocks; call when the machine is parked, before reading the report.
+func (vm *VM) ProfilerFlush() {
+	if vm.prof == nil {
+		return
+	}
+	busy := make([]int64, len(vm.Interps))
+	for i, in := range vm.Interps {
+		busy[i] = int64(in.p.Stats().Busy)
+	}
+	vm.prof.Flush(busy)
+}
+
+// selName returns the Go string of a selector symbol, cached by oop.
+func (in *Interp) selName(sel object.OOP) string {
+	vm := in.vm
+	if vm.selectorNames == nil {
+		return vm.SymbolName(sel)
+	}
+	if name, ok := vm.selectorNames[sel]; ok {
+		return name
+	}
+	name := vm.SymbolName(sel)
+	vm.selectorNames[sel] = name
+	return name
+}
+
+// methodName renders a compiled method as "Class>>selector", cached by
+// method oop.
+func (vm *VM) methodName(method object.OOP) string {
+	if name, ok := vm.methodNames[method]; ok {
+		return name
+	}
+	h := vm.H
+	name := "(unknown)"
+	if method.IsPtr() && method != object.Nil {
+		sel := h.Fetch(method, CMSelector)
+		cls := h.Fetch(method, CMMethodClass)
+		selName := "?"
+		if sel != object.Nil && h.Header(sel).Format() == object.FmtBytes {
+			selName = string(h.Bytes(sel))
+		}
+		clsName := "?"
+		if cls != object.Nil && cls.IsPtr() {
+			if cn := h.Fetch(cls, ClsName); cn != object.Nil && h.Header(cn).Format() == object.FmtBytes {
+				clsName = string(h.Bytes(cn))
+			}
+		}
+		name = clsName + ">>" + selName
+	}
+	vm.methodNames[method] = name
+	return name
+}
+
+// profSync captures the current call chain and syncs the profiler.
+// Frames are collected innermost-first by walking sender/caller links,
+// then reversed to the outermost-first order Profiler.Sync expects.
+func (in *Interp) profSync() {
+	vm := in.vm
+	h := vm.H
+	frames := in.profFrames[:0]
+	for ctx := in.ctx; ctx != object.Nil && ctx.IsPtr(); {
+		if h.ClassOf(ctx) == vm.Specials.BlockContext {
+			home := h.Fetch(ctx, BCtxHome)
+			name := "[] in (unknown)"
+			if home != object.Nil && home.IsPtr() {
+				name = "[] in " + vm.methodName(h.Fetch(home, CtxMethod))
+			}
+			frames = append(frames, name)
+			ctx = h.Fetch(ctx, BCtxCaller)
+		} else {
+			frames = append(frames, vm.methodName(h.Fetch(ctx, CtxMethod)))
+			ctx = h.Fetch(ctx, CtxSender)
+		}
+	}
+	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+	in.profFrames = frames
+	vm.prof.Sync(in.p.ID(), frames, int64(in.p.Stats().Busy))
+}
+
+// profIdle marks the processor idle (empty stack) in the profiler; the
+// idle loop's own polling work accrues to the (idle) bucket.
+func (in *Interp) profIdle() {
+	in.vm.prof.Sync(in.p.ID(), nil, int64(in.p.Stats().Busy))
+}

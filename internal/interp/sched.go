@@ -3,6 +3,7 @@ package interp
 import (
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // The scheduler follows the paper's design:
@@ -99,6 +100,11 @@ func (vm *VM) findReady(p *firefly.Proc) object.OOP {
 func (in *Interp) switchToProcess(proc object.OOP) {
 	vm := in.vm
 	vm.stats.ProcessSwitches++
+	if in.rec != nil {
+		// The raw oop value identifies the Process; IdentityHash would
+		// lazily assign hash bits (a heap mutation) and so is off-limits.
+		in.rec.Emit(trace.KProcessSwitch, in.p.ID(), int64(in.p.Now()), int64(proc), 0, "")
+	}
 	in.p.Advance(vm.M.Costs().ProcessSwitch)
 	in.setProc(proc)
 	ctx := vm.H.Fetch(proc, PrSuspendedContext)
@@ -126,6 +132,9 @@ func (in *Interp) pickNext() {
 	if next == object.Nil {
 		in.setProc(object.Nil)
 		in.ctx = object.Nil
+		if in.vm.prof != nil {
+			in.profIdle()
+		}
 		return
 	}
 	in.vm.H.StoreNoCheck(next, PrState, object.FromInt(StateRunning))

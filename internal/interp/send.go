@@ -4,6 +4,7 @@ import (
 	"mst/internal/bytecode"
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // cacheSize is the method cache size (entries, power of two).
@@ -47,6 +48,9 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 			vm.cacheLock.ReleaseRead(in.p)
 		}
 		vm.stats.CacheHits++
+		if in.rec != nil {
+			in.rec.Emit(trace.KCacheHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
+		}
 		return m, prim, true
 	}
 	if in.twoWay {
@@ -59,6 +63,9 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 				vm.cacheLock.ReleaseRead(in.p)
 			}
 			vm.stats.CacheHits++
+			if in.rec != nil {
+				in.rec.Emit(trace.KCacheHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
+			}
 			return m, prim, true
 		}
 	}
@@ -66,6 +73,9 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 		vm.cacheLock.ReleaseRead(in.p)
 	}
 	vm.stats.CacheMisses++
+	if in.rec != nil {
+		in.rec.Emit(trace.KCacheMiss, in.p.ID(), int64(in.p.Now()), 0, 0, in.selName(selector))
+	}
 
 	method, ok := in.walkLookup(class, selector)
 	if !ok {
@@ -133,6 +143,9 @@ func (vm *VM) methodDictLookup(dict, selector object.OOP) (object.OOP, bool) {
 func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 	vm := in.vm
 	vm.stats.Sends++
+	if in.rec != nil {
+		in.rec.Emit(trace.KSend, in.p.ID(), int64(in.p.Now()), int64(nargs), 0, in.selName(selector))
+	}
 	in.p.Advance(in.costs.SendExtra)
 
 	receiver := in.stackAt(nargs)
@@ -157,9 +170,15 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 				in.p.Advance(in.costs.ICProbe)
 				if m, p, ok := site.probe(class); ok {
 					vm.stats.ICHits++
+					if in.rec != nil {
+						in.rec.Emit(trace.KICHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
+					}
 					method, prim, hit = m, p, true
 				} else {
 					vm.stats.ICMisses++
+					if in.rec != nil {
+						in.rec.Emit(trace.KICMiss, in.p.ID(), int64(in.p.Now()), 0, 0, in.selName(selector))
+					}
 					fillSite = site
 				}
 			}
@@ -178,6 +197,9 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 	}
 	if prim > 0 {
 		vm.stats.Primitives++
+		if in.rec != nil {
+			in.rec.Emit(trace.KPrimitive, in.p.ID(), int64(in.p.Now()), int64(prim), 0, "")
+		}
 		in.p.Advance(in.costs.PrimBase)
 		if in.callPrimitive(prim, nargs) {
 			return
@@ -340,6 +362,9 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 		vm.freeLock.Acquire(in.p)
 		if len(vm.sharedFreeCtx[which]) < freeListMax {
 			vm.sharedFreeCtx[which] = append(vm.sharedFreeCtx[which], ctx)
+			if in.rec != nil {
+				in.rec.Emit(trace.KCtxRecycle, in.p.ID(), int64(in.p.Now()), 0, 0, "")
+			}
 		}
 		vm.freeLock.Release(in.p)
 		return
@@ -354,6 +379,9 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 		}
 	}
 	vm.stats.ContextsRecycled++
+	if in.rec != nil {
+		in.rec.Emit(trace.KCtxRecycle, in.p.ID(), int64(in.p.Now()), 0, 0, "")
+	}
 }
 
 // allocContext takes a method context from the free list or the heap.
@@ -393,6 +421,9 @@ func (in *Interp) allocContext(large bool) object.OOP {
 		slots = LargeCtxSlots
 	}
 	vm.stats.ContextsAlloc++
+	if in.rec != nil {
+		in.rec.Emit(trace.KCtxAlloc, in.p.ID(), int64(in.p.Now()), 0, 0, "")
+	}
 	return vm.H.Allocate(in.p, vm.Specials.MethodContext,
 		CtxFixed+slots, object.FmtPointers)
 }

@@ -22,6 +22,7 @@ import (
 	"mst/internal/firefly"
 	"mst/internal/heap"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // CachePolicy selects the method-lookup cache organization.
@@ -375,6 +376,13 @@ type VM struct {
 	// snapshotFunc writes an image snapshot (installed by the image
 	// layer; used by primitive 139).
 	snapshotFunc SnapshotFunc
+
+	// Profiler state (see profile.go): prof is nil unless EnableProfiler
+	// was called; the name caches map oops to rendered Go strings and
+	// are flushed before every scavenge because oops move.
+	prof          *trace.Profiler
+	methodNames   map[object.OOP]string
+	selectorNames map[object.OOP]string
 
 	stats  Stats
 	errors []string

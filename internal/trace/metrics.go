@@ -1,0 +1,144 @@
+package trace
+
+// The unified metrics registry: one typed snapshot of every counter the
+// simulator keeps — per-processor time accounting, per-lock contention,
+// heap/scavenge activity, and interpreter counters — with derived
+// percentages precomputed. Layers fill in their sections with plain
+// int64/uint64 values (this package stays dependency-free); the core
+// package assembles the whole struct, and every report (msbench -json,
+// -contention, mst -stats) reads from it instead of re-collecting
+// ad hoc.
+
+// MetricsSchemaVersion versions the Metrics struct and every JSON
+// document embedding it. Bump it whenever a field changes meaning or
+// is removed; additions alone may keep the version.
+const MetricsSchemaVersion = 2
+
+// MachineMetrics summarizes the virtual machine room: the simulated
+// multiprocessor itself.
+type MachineMetrics struct {
+	NumProcs         int    `json:"num_procs"`
+	Switches         uint64 `json:"switches"` // processor quantum dispatches
+	VirtualTimeTicks int64  `json:"virtual_time_ticks"`
+	VirtualTimeMS    int64  `json:"virtual_time_ms"`
+}
+
+// ProcMetrics is one virtual processor's time accounting. The
+// percentage fields are fractions of the processor's own clock — the
+// per-processor spin/stall shares the contention report quotes.
+type ProcMetrics struct {
+	Proc       int   `json:"proc"`
+	BusyTicks  int64 `json:"busy_ticks"`
+	SpinTicks  int64 `json:"spin_ticks"`
+	StallTicks int64 `json:"stall_ticks"`
+	IdleTicks  int64 `json:"idle_ticks"`
+	ClockTicks int64 `json:"clock_ticks"`
+
+	BusyPct  float64 `json:"busy_pct"`
+	SpinPct  float64 `json:"spin_pct"`
+	StallPct float64 `json:"stall_pct"`
+}
+
+// LockMetrics is one registered virtual lock's history. Name is the
+// lock's registration name — the single naming authority every report
+// shares.
+type LockMetrics struct {
+	Name          string  `json:"name"`
+	Acquisitions  uint64  `json:"acquisitions"`
+	Contentions   uint64  `json:"contentions"`
+	SpinTicks     int64   `json:"spin_ticks"`
+	ContentionPct float64 `json:"contention_pct"` // contended acquires / acquires
+}
+
+// HeapMetrics snapshots the object memory counters.
+type HeapMetrics struct {
+	Allocations       uint64 `json:"allocations"`
+	AllocatedWords    uint64 `json:"allocated_words"`
+	TLABRefills       uint64 `json:"tlab_refills"`
+	Scavenges         uint64 `json:"scavenges"`
+	CopiedObjects     uint64 `json:"copied_objects"`
+	CopiedWords       uint64 `json:"copied_words"`
+	TenuredObjects    uint64 `json:"tenured_objects"`
+	TenuredWords      uint64 `json:"tenured_words"`
+	StoreChecks       uint64 `json:"store_checks"`
+	ScavengeTicks     int64  `json:"scavenge_ticks"`
+	LastSurvivors     uint64 `json:"last_survivors"`
+	RememberedPeak    int    `json:"remembered_peak"`
+	OldWordsInUse     uint64 `json:"old_words_in_use"`
+	EdenWordsInUse    uint64 `json:"eden_words_in_use"`
+	FullCollections   uint64 `json:"full_collections"`
+	FullGCTicks       int64  `json:"full_gc_ticks"`
+	ReclaimedOldWords uint64 `json:"reclaimed_old_words"`
+}
+
+// InterpMetrics snapshots the interpreter counters with hit rates
+// derived.
+type InterpMetrics struct {
+	Bytecodes        uint64 `json:"bytecodes"`
+	Sends            uint64 `json:"sends"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	ICHits           uint64 `json:"ic_hits"`
+	ICMisses         uint64 `json:"ic_misses"`
+	ICFills          uint64 `json:"ic_fills"`
+	ICPolySites      uint64 `json:"ic_poly_sites"`
+	ICMegaSites      uint64 `json:"ic_mega_sites"`
+	DictProbes       uint64 `json:"dict_probes"`
+	DNUs             uint64 `json:"dnus"`
+	Primitives       uint64 `json:"primitives"`
+	PrimFailures     uint64 `json:"prim_failures"`
+	ContextsAlloc    uint64 `json:"contexts_alloc"`
+	ContextsRecycled uint64 `json:"contexts_recycled"`
+	ProcessSwitches  uint64 `json:"process_switches"`
+	SemWaits         uint64 `json:"sem_waits"`
+	SemSignals       uint64 `json:"sem_signals"`
+	VMErrors         uint64 `json:"vm_errors"`
+
+	CacheHitPct float64 `json:"cache_hit_pct"`
+	ICHitPct    float64 `json:"ic_hit_pct"`
+}
+
+// TraceMetrics reports on the flight recorder itself.
+type TraceMetrics struct {
+	Events  uint64 `json:"events"`  // events ever emitted
+	Dropped uint64 `json:"dropped"` // overwritten by the ring
+}
+
+// Metrics is the unified snapshot of every simulator counter.
+type Metrics struct {
+	SchemaVersion int            `json:"schema_version"`
+	Machine       MachineMetrics `json:"machine"`
+	Procs         []ProcMetrics  `json:"procs"`
+	Locks         []LockMetrics  `json:"locks"`
+	Heap          HeapMetrics    `json:"heap"`
+	Interp        InterpMetrics  `json:"interp"`
+	Trace         TraceMetrics   `json:"trace"`
+}
+
+// Derive fills in every percentage/rate field from the raw counters and
+// stamps the schema version. Call once after the raw sections are set.
+func (m *Metrics) Derive() {
+	m.SchemaVersion = MetricsSchemaVersion
+	m.Machine.VirtualTimeMS = m.Machine.VirtualTimeTicks / 1000
+	for i := range m.Procs {
+		p := &m.Procs[i]
+		if p.ClockTicks > 0 {
+			c := float64(p.ClockTicks)
+			p.BusyPct = 100 * float64(p.BusyTicks) / c
+			p.SpinPct = 100 * float64(p.SpinTicks) / c
+			p.StallPct = 100 * float64(p.StallTicks) / c
+		}
+	}
+	for i := range m.Locks {
+		l := &m.Locks[i]
+		if l.Acquisitions > 0 {
+			l.ContentionPct = 100 * float64(l.Contentions) / float64(l.Acquisitions)
+		}
+	}
+	if probes := m.Interp.CacheHits + m.Interp.CacheMisses; probes > 0 {
+		m.Interp.CacheHitPct = 100 * float64(m.Interp.CacheHits) / float64(probes)
+	}
+	if probes := m.Interp.ICHits + m.Interp.ICMisses; probes > 0 {
+		m.Interp.ICHitPct = 100 * float64(m.Interp.ICHits) / float64(probes)
+	}
+}

@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event / Perfetto export. The recorder's virtual-tick
+// timestamps map directly onto the format's microsecond `ts` field, so
+// a trace loads in ui.perfetto.dev with the virtual-time axis intact.
+//
+// Track layout:
+//
+//	pid 1 "virtual processors" — one thread per processor: quantum
+//	      slices, lock-hold and lock-spin slices, gc-stall slices,
+//	      scavenge slices, and instants for sends, cache misses, etc.
+//	pid 2 "locks" — one thread per registered lock: its exclusive hold
+//	      intervals across all processors (read-side holds overlap in
+//	      virtual time and stay on the processor tracks only).
+//	pid 3 "gc" — scavenge and full-collection slices plus eden-full and
+//	      tenure instants.
+//
+// The ring buffer may have overwritten the oldest events, so pairing is
+// tolerant: an end with no matching begin is dropped, and a begin with
+// no end is closed at the last recorded timestamp.
+
+const (
+	pidProcs = 1
+	pidLocks = 2
+	pidGC    = 3
+)
+
+type pfEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type pfTrace struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+type openSlice struct {
+	name string
+	ts   int64
+}
+
+// pfBuilder accumulates trace-event JSON objects.
+type pfBuilder struct {
+	out []pfEvent
+}
+
+func (b *pfBuilder) meta(pid int, name string) {
+	b.out = append(b.out, pfEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+func (b *pfBuilder) thread(pid, tid int, name string) {
+	b.out = append(b.out, pfEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+func (b *pfBuilder) slice(pid, tid int, name string, ts, dur int64, args map[string]any) {
+	if dur < 0 {
+		dur = 0
+	}
+	d := dur
+	b.out = append(b.out, pfEvent{Name: name, Ph: "X", Ts: ts, Dur: &d,
+		Pid: pid, Tid: tid, Args: args})
+}
+
+func (b *pfBuilder) instant(pid, tid int, name string, ts int64, args map[string]any) {
+	b.out = append(b.out, pfEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid,
+		Scope: "t", Args: args})
+}
+
+// procTrack pairs begin/end events on one processor's thread with a
+// name-matched stack; mismatches from ring truncation are dropped.
+type procTrack struct {
+	b    *pfBuilder
+	tid  int
+	open []openSlice
+}
+
+func (t *procTrack) begin(name string, ts int64) {
+	t.open = append(t.open, openSlice{name: name, ts: ts})
+}
+
+func (t *procTrack) end(name string, ts int64) {
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i].name == name {
+			// Anything opened above the match was orphaned by ring
+			// truncation; close it here too.
+			for j := len(t.open) - 1; j >= i; j-- {
+				s := t.open[j]
+				t.b.slice(pidProcs, t.tid, s.name, s.ts, ts-s.ts, nil)
+			}
+			t.open = t.open[:i]
+			return
+		}
+	}
+	// End with no begin: the begin fell off the ring; drop it.
+}
+
+func (t *procTrack) closeAll(ts int64) {
+	for j := len(t.open) - 1; j >= 0; j-- {
+		s := t.open[j]
+		t.b.slice(pidProcs, t.tid, s.name, s.ts, ts-s.ts, nil)
+	}
+	t.open = nil
+}
+
+// WritePerfetto exports events (oldest first, as returned by
+// Recorder.Events) as Chrome trace-event JSON loadable in
+// ui.perfetto.dev. numProcs fixes the processor-track count so empty
+// processors still get a named track.
+func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
+	b := &pfBuilder{}
+	b.meta(pidProcs, "virtual processors")
+	b.meta(pidLocks, "locks")
+	b.meta(pidGC, "gc")
+	for i := 0; i < numProcs; i++ {
+		b.thread(pidProcs, i, "cpu "+itoa(i))
+	}
+	b.thread(pidGC, 0, "collector")
+
+	var maxTs int64
+	for i := range events {
+		if events[i].At > maxTs {
+			maxTs = events[i].At
+		}
+	}
+
+	tracks := make([]*procTrack, numProcs)
+	for i := range tracks {
+		tracks[i] = &procTrack{b: b, tid: i}
+	}
+	track := func(proc int32) *procTrack {
+		if int(proc) < len(tracks) {
+			return tracks[proc]
+		}
+		return nil
+	}
+
+	// Lock tracks: exclusive holds per lock, in ring order (which is
+	// virtual-time order per lock: an acquire can only follow the
+	// release that freed the lock).
+	lockTids := map[string]int{}
+	lockOpen := map[string]int64{} // name -> hold start ts, -1 when free
+	lockTid := func(name string) int {
+		tid, ok := lockTids[name]
+		if !ok {
+			tid = len(lockTids)
+			lockTids[name] = tid
+			b.thread(pidLocks, tid, name)
+			lockOpen[name] = -1
+		}
+		return tid
+	}
+
+	// GC track: scavenge and full-gc slices (stop-the-world, so they
+	// never overlap themselves; a full gc contains its eden-emptying
+	// scavenge, which nests).
+	gcOpen := map[Kind]int64{KScavengeBegin: -1, KFullGCBegin: -1}
+
+	for i := range events {
+		e := &events[i]
+		pt := track(e.Proc)
+		switch e.Kind {
+		case KQuantumStart:
+			if pt != nil {
+				pt.begin("quantum", e.At)
+			}
+		case KQuantumEnd:
+			if pt != nil {
+				pt.end("quantum", e.At)
+			}
+		case KHandoff:
+			if pt != nil {
+				b.instant(pidProcs, pt.tid, "handoff", e.At, map[string]any{"to": e.Arg1})
+			}
+		case KLockAcquire:
+			if pt != nil {
+				pt.begin("hold "+e.Str, e.At)
+			}
+			if e.Arg2 == 1 {
+				tid := lockTid(e.Str)
+				if prev := lockOpen[e.Str]; prev >= 0 {
+					// Release lost to ring truncation: close at this
+					// acquire so holds stay disjoint.
+					b.slice(pidLocks, tid, "held", prev, e.At-prev, nil)
+				}
+				lockOpen[e.Str] = e.At
+			}
+		case KLockRelease:
+			if pt != nil {
+				pt.end("hold "+e.Str, e.At)
+			}
+			if e.Arg2 == 1 {
+				tid := lockTid(e.Str)
+				if start := lockOpen[e.Str]; start >= 0 {
+					b.slice(pidLocks, tid, "held", start, e.At-start,
+						map[string]any{"proc": e.Proc})
+					lockOpen[e.Str] = -1
+				}
+			}
+		case KLockContend:
+			if pt == nil {
+				break
+			}
+			if e.Arg1 > 0 {
+				b.slice(pidProcs, pt.tid, "spin "+e.Str, e.At, e.Arg1, nil)
+			} else {
+				b.instant(pidProcs, pt.tid, "try-fail "+e.Str, e.At, nil)
+			}
+		case KStall:
+			if pt != nil {
+				b.slice(pidProcs, pt.tid, "gc-stall", e.At, e.Arg1, nil)
+			}
+		case KScavengeBegin:
+			if pt != nil {
+				pt.begin("scavenge", e.At)
+			}
+			gcOpen[KScavengeBegin] = e.At
+		case KScavengeEnd:
+			if pt != nil {
+				pt.end("scavenge", e.At)
+			}
+			if start := gcOpen[KScavengeBegin]; start >= 0 {
+				b.slice(pidGC, 0, "scavenge", start, e.At-start,
+					map[string]any{"objects": e.Arg1, "words": e.Arg2})
+				gcOpen[KScavengeBegin] = -1
+			}
+		case KFullGCBegin:
+			gcOpen[KFullGCBegin] = e.At
+		case KFullGCEnd:
+			if start := gcOpen[KFullGCBegin]; start >= 0 {
+				b.slice(pidGC, 0, "full-gc", start, e.At-start,
+					map[string]any{"reclaimed_words": e.Arg1})
+				gcOpen[KFullGCBegin] = -1
+			}
+		case KEdenFull:
+			b.instant(pidGC, 0, "eden-full", e.At, map[string]any{"need_words": e.Arg1})
+		case KTenure:
+			b.instant(pidGC, 0, "tenure", e.At, map[string]any{"words": e.Arg1})
+		case KSend:
+			if pt != nil {
+				name := e.Str
+				if name == "" {
+					name = "send"
+				}
+				b.instant(pidProcs, pt.tid, name, e.At, nil)
+			}
+		default:
+			if pt != nil {
+				var args map[string]any
+				if e.Str != "" {
+					args = map[string]any{"str": e.Str}
+				}
+				b.instant(pidProcs, pt.tid, e.Kind.String(), e.At, args)
+			}
+		}
+	}
+
+	for _, pt := range tracks {
+		pt.closeAll(maxTs)
+	}
+	// Close trailing opens in deterministic (registration) order.
+	lockNames := make([]string, len(lockTids))
+	for name, tid := range lockTids {
+		lockNames[tid] = name
+	}
+	for tid, name := range lockNames {
+		if start := lockOpen[name]; start >= 0 {
+			b.slice(pidLocks, tid, "held", start, maxTs-start, nil)
+		}
+	}
+	if start := gcOpen[KScavengeBegin]; start >= 0 {
+		b.slice(pidGC, 0, "scavenge", start, maxTs-start, nil)
+	}
+	if start := gcOpen[KFullGCBegin]; start >= 0 {
+		b.slice(pidGC, 0, "full-gc", start, maxTs-start, nil)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(pfTrace{TraceEvents: b.out, DisplayTimeUnit: "ms"})
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Selector-level virtual-time profiler. The interpreter calls Sync at
+// every context switch (loadContext) with the current virtual-method
+// call chain and the processor's busy tick counter; the profiler
+// charges the ticks elapsed since the previous sync to the method that
+// was executing (flat time) and maintains a shadow stack per processor
+// for gprof-style cumulative attribution (time a method spends anywhere
+// on the stack, counted once per processor even under recursion).
+//
+// Everything is host-side: the profiler holds only Go strings (never
+// oops), charges no virtual time, and so cannot perturb the run.
+
+// Special attribution buckets: busy ticks spent before the first
+// context load ("(vm)") and in the idle loop's polling ("(idle)").
+const (
+	BucketVM   = "(vm)"
+	BucketIdle = "(idle)"
+)
+
+type procProf struct {
+	stack    []string
+	onStack  map[string]int   // name -> occurrences on stack
+	entry    map[string]int64 // name -> busy at outermost entry
+	lastBusy int64
+	current  string
+}
+
+// Profiler attributes virtual busy time to qualified method names.
+type Profiler struct {
+	flat  map[string]int64
+	cum   map[string]int64
+	procs []*procProf
+}
+
+// NewProfiler creates a profiler for numProcs processors.
+func NewProfiler(numProcs int) *Profiler {
+	pf := &Profiler{flat: map[string]int64{}, cum: map[string]int64{}}
+	for i := 0; i < numProcs; i++ {
+		pf.procs = append(pf.procs, &procProf{
+			onStack: map[string]int{},
+			entry:   map[string]int64{},
+			current: BucketVM,
+		})
+	}
+	return pf
+}
+
+// Prime sets a processor's busy-tick baseline; call once when the
+// profiler is attached so pre-attachment (boot) time is not counted.
+func (pf *Profiler) Prime(proc int, busy int64) {
+	pf.procs[proc].lastBusy = busy
+}
+
+// Sync charges the busy ticks elapsed since the previous sync to the
+// bucket that was executing, then reconciles the processor's shadow
+// stack with frames (the current call chain, outermost first). Empty
+// frames mean the processor went idle. Reconciliation is by longest
+// common prefix, which handles sends, returns, non-local returns, and
+// whole-stack process switches uniformly.
+func (pf *Profiler) Sync(proc int, frames []string, busy int64) {
+	pp := pf.procs[proc]
+	if delta := busy - pp.lastBusy; delta > 0 {
+		pf.flat[pp.current] += delta
+	}
+	pp.lastBusy = busy
+
+	i := 0
+	for i < len(pp.stack) && i < len(frames) && pp.stack[i] == frames[i] {
+		i++
+	}
+	for j := len(pp.stack) - 1; j >= i; j-- {
+		pf.popFrame(pp, pp.stack[j], busy)
+	}
+	pp.stack = pp.stack[:i]
+	for _, name := range frames[i:] {
+		pf.pushFrame(pp, name, busy)
+		pp.stack = append(pp.stack, name)
+	}
+	if len(frames) == 0 {
+		pp.current = BucketIdle
+	} else {
+		pp.current = frames[len(frames)-1]
+	}
+}
+
+func (pf *Profiler) pushFrame(pp *procProf, name string, busy int64) {
+	if pp.onStack[name] == 0 {
+		pp.entry[name] = busy
+	}
+	pp.onStack[name]++
+}
+
+func (pf *Profiler) popFrame(pp *procProf, name string, busy int64) {
+	pp.onStack[name]--
+	if pp.onStack[name] <= 0 {
+		pf.cum[name] += busy - pp.entry[name]
+		delete(pp.entry, name)
+		delete(pp.onStack, name)
+	}
+}
+
+// Flush finalizes attribution: charges each processor's outstanding
+// busy ticks and unwinds its shadow stack (closing cumulative
+// intervals). Call before reading Entries/Coverage/Report.
+func (pf *Profiler) Flush(busyByProc []int64) {
+	for i, busy := range busyByProc {
+		if i < len(pf.procs) {
+			pf.Sync(i, nil, busy)
+		}
+	}
+}
+
+// Reset clears all attribution and re-primes each processor's baseline.
+func (pf *Profiler) Reset(busyByProc []int64) {
+	pf.flat = map[string]int64{}
+	pf.cum = map[string]int64{}
+	for i, pp := range pf.procs {
+		pp.stack = pp.stack[:0]
+		pp.onStack = map[string]int{}
+		pp.entry = map[string]int64{}
+		pp.current = BucketVM
+		if i < len(busyByProc) {
+			pp.lastBusy = busyByProc[i]
+		}
+	}
+}
+
+// ProfEntry is one method's attribution.
+type ProfEntry struct {
+	Name string
+	Flat int64 // busy ticks with the method itself executing
+	Cum  int64 // busy ticks with the method anywhere on a stack
+}
+
+// Entries returns every bucket sorted by flat time (descending, name as
+// tiebreak for determinism).
+func (pf *Profiler) Entries() []ProfEntry {
+	names := map[string]bool{}
+	for n := range pf.flat {
+		names[n] = true
+	}
+	for n := range pf.cum {
+		names[n] = true
+	}
+	out := make([]ProfEntry, 0, len(names))
+	for n := range names {
+		out = append(out, ProfEntry{Name: n, Flat: pf.flat[n], Cum: pf.cum[n]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalBusy returns every busy tick charged since attach (or Reset).
+func (pf *Profiler) TotalBusy() int64 {
+	var t int64
+	for _, v := range pf.flat {
+		t += v
+	}
+	return t
+}
+
+// Coverage returns the fraction of charged busy ticks attributed to
+// named selectors (everything except the (vm) and (idle) buckets).
+func (pf *Profiler) Coverage() float64 {
+	total := pf.TotalBusy()
+	if total == 0 {
+		return 0
+	}
+	named := total - pf.flat[BucketVM] - pf.flat[BucketIdle]
+	return float64(named) / float64(total)
+}
+
+// Report renders the top-N flat-time table with a coverage line.
+func (pf *Profiler) Report(topN int) string {
+	entries := pf.Entries()
+	total := pf.TotalBusy()
+	if total == 0 {
+		total = 1
+	}
+	var b strings.Builder
+	b.WriteString("Selector profile (virtual busy ticks; flat = executing, cum = on stack):\n\n")
+	fmt.Fprintf(&b, "%7s %7s %12s %12s  %s\n", "flat%", "cum%", "flat", "cum", "method")
+	n := 0
+	for _, e := range entries {
+		if topN > 0 && n >= topN {
+			break
+		}
+		if e.Flat == 0 && e.Cum == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%6.2f%% %6.2f%% %12d %12d  %s\n",
+			100*float64(e.Flat)/float64(total),
+			100*float64(e.Cum)/float64(total),
+			e.Flat, e.Cum, e.Name)
+		n++
+	}
+	fmt.Fprintf(&b, "\ncoverage: %.1f%% of %d busy ticks attributed to named selectors\n",
+		100*pf.Coverage(), pf.TotalBusy())
+	return b.String()
+}

@@ -1,0 +1,156 @@
+// Package trace is the virtual-time flight recorder: a fixed-size ring
+// buffer of events emitted from the hot paths of the simulator (machine
+// scheduling, locks, GC, interpreter, devices), plus the host-side
+// consumers built on it — a Perfetto/Chrome trace-event exporter, a
+// selector-level virtual-time profiler, and the unified metrics
+// registry.
+//
+// The package sits below every other layer (it imports nothing from the
+// repository) so that firefly, heap, interp, and display can all emit
+// into one recorder. Times are raw virtual ticks (int64; one tick is
+// one virtual microsecond).
+//
+// Everything here is observability only: recording an event never
+// charges virtual time, never touches the simulated heap, and never
+// registers GC roots, so a traced run is bit-identical — in every
+// virtual clock and every counter — to an untraced one. The golden
+// determinism test asserts this invariant.
+package trace
+
+import "fmt"
+
+// Kind classifies one flight-recorder event.
+type Kind uint8
+
+const (
+	// Machine-level events (emitted by internal/firefly).
+	KQuantumStart Kind = iota // proc begins a scheduling quantum
+	KQuantumEnd               // proc yields; Arg1 unused
+	KHandoff                  // baton handoff; Arg1 = target proc
+	KLockAcquire              // lock taken; Str = lock name, Arg2 = 1 if exclusive
+	KLockContend              // contended acquire; Arg1 = spin ticks (0: TryAcquire failure)
+	KLockRelease              // lock released; Str = lock name, Arg2 = 1 if exclusive
+	KStall                    // stop-the-world stall; Arg1 = stall ticks
+
+	// Heap events (emitted by internal/heap).
+	KScavengeBegin // scavenge starts on this proc
+	KScavengeEnd   // Arg1 = copied objects, Arg2 = copied words
+	KEdenFull      // eden exhausted; Arg1 = words requested
+	KTenure        // object promoted to old space; Arg1 = words
+	KFullGCBegin   // full mark-compact collection starts
+	KFullGCEnd     // Arg1 = reclaimed old-space words
+
+	// Interpreter events (emitted by internal/interp).
+	KSend          // message send; Str = selector, Arg1 = nargs
+	KCacheHit      // method-cache hit
+	KCacheMiss     // method-cache miss; Str = selector
+	KICHit         // inline-cache hit
+	KICMiss        // inline-cache miss; Str = selector
+	KProcessSwitch // interpreter switched Smalltalk Processes; Arg1 = process oop
+	KPrimitive     // primitive invoked; Arg1 = primitive index
+	KCtxAlloc      // context allocated from the heap
+	KCtxRecycle    // context returned to a free list
+
+	// Device events (emitted by internal/display).
+	KDisplayOp // command posted to the display output queue
+	KInputOp   // input event transferred from the sensor
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"quantum-start", "quantum-end", "handoff",
+	"lock-acquire", "lock-contend", "lock-release", "stall",
+	"scavenge-begin", "scavenge-end", "eden-full", "tenure",
+	"fullgc-begin", "fullgc-end",
+	"send", "cache-hit", "cache-miss", "ic-hit", "ic-miss",
+	"process-switch", "primitive", "ctx-alloc", "ctx-recycle",
+	"display-op", "input-op",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one flight-recorder entry. At is virtual ticks; Proc is the
+// virtual processor the event belongs to (its track). Str carries an
+// interned name (selector, lock) — recording it copies only the string
+// header, never the bytes.
+type Event struct {
+	At   int64
+	Arg1 int64
+	Arg2 int64
+	Str  string
+	Proc int32
+	Kind Kind
+}
+
+// Recorder is the flight-recorder ring buffer. It is not synchronized:
+// the simulator's baton protocol guarantees a single writer at a time,
+// and readers (export, tests) run while the machine is parked.
+type Recorder struct {
+	buf  []Event
+	mask uint64
+	n    uint64 // events ever emitted
+}
+
+// DefaultRingSize is the event capacity used by the -trace CLI flags:
+// large enough to hold the tail of a macro benchmark, small enough that
+// the exported JSON stays loadable in ui.perfetto.dev.
+const DefaultRingSize = 1 << 17
+
+// NewRecorder creates a recorder holding the most recent events.
+// capacity is rounded up to a power of two, minimum 1024.
+func NewRecorder(capacity int) *Recorder {
+	n := 1024
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{buf: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// Emit records one event, overwriting the oldest when the ring is full.
+// It never allocates.
+func (r *Recorder) Emit(k Kind, proc int, at, arg1, arg2 int64, str string) {
+	e := &r.buf[r.n&r.mask]
+	e.At, e.Arg1, e.Arg2, e.Str, e.Proc, e.Kind = at, arg1, arg2, str, int32(proc), k
+	r.n++
+}
+
+// Len returns how many events are currently held.
+func (r *Recorder) Len() int {
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever emitted.
+func (r *Recorder) Total() uint64 { return r.n }
+
+// Dropped returns how many events the ring overwrote.
+func (r *Recorder) Dropped() uint64 {
+	if r.n <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.n - uint64(len(r.buf))
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	start := uint64(0)
+	if r.n > uint64(len(r.buf)) {
+		start = r.n - uint64(len(r.buf))
+	}
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i&r.mask])
+	}
+	return out
+}
+
+// Reset discards every recorded event (the ring keeps its capacity).
+func (r *Recorder) Reset() { r.n = 0 }

@@ -30,6 +30,7 @@ import (
 	"mst/internal/firefly"
 	"mst/internal/heap"
 	"mst/internal/interp"
+	"mst/internal/trace"
 )
 
 // System is a booted Multiprocessor Smalltalk system.
@@ -95,6 +96,19 @@ type Time = firefly.Time
 
 // TicksPerMS is the number of virtual ticks in one virtual millisecond.
 const TicksPerMS = firefly.TicksPerMS
+
+// Metrics is the unified metrics registry snapshot: every machine,
+// lock, heap, and interpreter counter in one versioned struct (see
+// System.Metrics).
+type Metrics = trace.Metrics
+
+// MetricsSchemaVersion versions the Metrics struct and the msbench
+// -json schema built on it.
+const MetricsSchemaVersion = trace.MetricsSchemaVersion
+
+// DefaultTraceEvents is the default flight-recorder ring capacity for
+// Config.TraceEvents.
+const DefaultTraceEvents = trace.DefaultRingSize
 
 // NewSystem boots a system under cfg: a simulated multiprocessor, the
 // object memory, one interpreter per processor, and the full kernel

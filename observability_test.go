@@ -1,0 +1,220 @@
+package mst_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mst/internal/bench"
+	"mst/internal/core"
+	"mst/internal/trace"
+)
+
+// End-to-end observability tests: run a real benchmark with the flight
+// recorder and profiler attached and check the whole pipeline — event
+// stream, Perfetto export, selector profile, metrics registry.
+
+// observedBusySystem boots the ms-busy standard state with both
+// observers on and runs one macro benchmark.
+func observedBusySystem(t *testing.T) *core.System {
+	t.Helper()
+	states := bench.StandardStates()
+	st := states[len(states)-1] // ms-busy
+	base := st.Config
+	st.Config = func() core.Config {
+		cfg := base()
+		cfg.TraceEvents = trace.DefaultRingSize
+		cfg.Profile = true
+		return cfg
+	}
+	sys, err := bench.NewBenchSystem(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.RunMacro(sys, "printClassHierarchy"); err != nil {
+		sys.Shutdown()
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTraceEventOrderingPerTrack(t *testing.T) {
+	sys := observedBusySystem(t)
+	defer sys.Shutdown()
+
+	events := sys.VM.M.Recorder().Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Virtual time never runs backwards on any processor's track.
+	last := map[int32]int64{}
+	kinds := map[trace.Kind]bool{}
+	for i, ev := range events {
+		kinds[ev.Kind] = true
+		if prev, ok := last[ev.Proc]; ok && ev.At < prev {
+			t.Fatalf("event %d (%v) on proc %d at t=%d, after t=%d",
+				i, ev.Kind, ev.Proc, ev.At, prev)
+		}
+		last[ev.Proc] = ev.At
+	}
+	// A busy run must exercise the scheduler, the locks, the sends,
+	// and the scavenger. Process switches all happen at spawn time, so
+	// they survive in the ring only when nothing was overwritten.
+	must := []trace.Kind{trace.KQuantumStart, trace.KQuantumEnd,
+		trace.KLockAcquire, trace.KLockRelease, trace.KSend,
+		trace.KScavengeBegin, trace.KScavengeEnd}
+	if sys.VM.M.Recorder().Dropped() == 0 {
+		must = append(must, trace.KProcessSwitch)
+	}
+	for _, k := range must {
+		if !kinds[k] {
+			t.Errorf("busy run emitted no %v events", k)
+		}
+	}
+}
+
+func TestPerfettoExportWellFormed(t *testing.T) {
+	sys := observedBusySystem(t)
+	defer sys.Shutdown()
+
+	var buf bytes.Buffer
+	if err := sys.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	numProcs := sys.Metrics().Machine.NumProcs
+	procTracks := map[int]bool{}  // tids named on pid 1
+	lockTracks := map[int]bool{}  // tids named on pid 2
+	gcTracks := map[int]bool{}    // tids named on pid 3
+	slicesOn := map[int]bool{}    // pids with at least one complete slice
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "thread_name" && ev.Ph == "M" {
+			switch ev.Pid {
+			case 1:
+				procTracks[ev.Tid] = true
+			case 2:
+				lockTracks[ev.Tid] = true
+			case 3:
+				gcTracks[ev.Tid] = true
+			}
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("complete slice %q without non-negative dur", ev.Name)
+			}
+			slicesOn[ev.Pid] = true
+		case "M", "i":
+		default:
+			t.Fatalf("unexpected phase %q on %q", ev.Ph, ev.Name)
+		}
+	}
+	for i := 0; i < numProcs; i++ {
+		if !procTracks[i] {
+			t.Errorf("no named track for processor %d", i)
+		}
+	}
+	if len(lockTracks) == 0 {
+		t.Error("no lock tracks")
+	}
+	if len(gcTracks) == 0 {
+		t.Error("no gc track")
+	}
+	for pid := 1; pid <= 3; pid++ {
+		if !slicesOn[pid] {
+			t.Errorf("pid %d has no slices", pid)
+		}
+	}
+}
+
+func TestProfilerCoverage(t *testing.T) {
+	sys := observedBusySystem(t)
+	defer sys.Shutdown()
+
+	sys.VM.ProfilerFlush()
+	pf := sys.VM.Profiler()
+	if pf == nil {
+		t.Fatal("profiler not enabled")
+	}
+	if cov := pf.Coverage(); cov < 0.95 {
+		t.Errorf("profiler attributes %.1f%% of busy time to named selectors, want >= 95%%\n%s",
+			cov*100, pf.Report(20))
+	}
+	rep, err := sys.ProfileReport(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flat%", "cum%", "coverage:"} {
+		if !bytes.Contains([]byte(rep), []byte(want)) {
+			t.Errorf("profile report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestMetricsRegistryMatchesStats(t *testing.T) {
+	sys := observedBusySystem(t)
+	defer sys.Shutdown()
+
+	m := sys.Metrics()
+	st := sys.Stats()
+
+	if m.SchemaVersion != trace.MetricsSchemaVersion {
+		t.Errorf("schema version = %d, want %d", m.SchemaVersion, trace.MetricsSchemaVersion)
+	}
+	if m.Interp.Sends != st.Interp.Sends || m.Interp.Bytecodes != st.Interp.Bytecodes {
+		t.Errorf("interp counters diverge: metrics %d/%d, stats %d/%d",
+			m.Interp.Sends, m.Interp.Bytecodes, st.Interp.Sends, st.Interp.Bytecodes)
+	}
+	if m.Heap.Allocations != st.Heap.Allocations || m.Heap.Scavenges != st.Heap.Scavenges {
+		t.Errorf("heap counters diverge: metrics %d/%d, stats %d/%d",
+			m.Heap.Allocations, m.Heap.Scavenges, st.Heap.Allocations, st.Heap.Scavenges)
+	}
+	// Lock names flow from Machine.LockStats registration into both
+	// views; they must agree name-for-name, in order.
+	if len(m.Locks) != len(st.Locks) {
+		t.Fatalf("lock count: metrics %d, stats %d", len(m.Locks), len(st.Locks))
+	}
+	for i := range m.Locks {
+		if m.Locks[i].Name != st.Locks[i].Name {
+			t.Errorf("lock %d name: metrics %q, stats %q", i, m.Locks[i].Name, st.Locks[i].Name)
+		}
+		if m.Locks[i].Acquisitions != st.Locks[i].Acquisitions {
+			t.Errorf("lock %q acquisitions: metrics %d, stats %d",
+				m.Locks[i].Name, m.Locks[i].Acquisitions, st.Locks[i].Acquisitions)
+		}
+	}
+	if m.Machine.VirtualTimeTicks <= 0 ||
+		m.Machine.VirtualTimeMS != m.Machine.VirtualTimeTicks/1000 {
+		t.Errorf("virtual time: %d ticks / %d ms", m.Machine.VirtualTimeTicks, m.Machine.VirtualTimeMS)
+	}
+	if len(m.Procs) != m.Machine.NumProcs {
+		t.Fatalf("procs: %d entries for %d processors", len(m.Procs), m.Machine.NumProcs)
+	}
+	for _, p := range m.Procs {
+		if p.BusyTicks+p.SpinTicks+p.StallTicks+p.IdleTicks > p.ClockTicks {
+			t.Errorf("proc %d accounting exceeds clock: busy=%d spin=%d stall=%d idle=%d clock=%d",
+				p.Proc, p.BusyTicks, p.SpinTicks, p.StallTicks, p.IdleTicks, p.ClockTicks)
+		}
+	}
+	if m.Trace.Events == 0 {
+		t.Error("trace metrics report no events from an observed run")
+	}
+}
