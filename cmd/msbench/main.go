@@ -14,6 +14,9 @@
 //	                           Chrome trace-event JSON for ui.perfetto.dev
 //	msbench -profile           selector-level virtual-time profile of the
 //	                           same run (combine with -trace for both)
+//	msbench -sanitize          run every state plain and under the mscheck
+//	                           invariant sanitizer; report violations,
+//	                           bit-identity, and host-side checker cost
 //	msbench -all               everything above
 //
 // All times are virtual milliseconds on the simulated Firefly; runs are
@@ -40,10 +43,11 @@ func main() {
 	contention := flag.Bool("contention", false, "per-state lock contention report (extension)")
 	tracePath := flag.String("trace", "", "flight-record a busy benchmark and write Perfetto JSON to this file")
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile of a busy benchmark")
+	sanFlag := flag.Bool("sanitize", false, "run every state under the mscheck invariant sanitizer and report overhead")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*all {
+	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*sanFlag && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -133,6 +137,15 @@ func main() {
 		r.Format(os.Stdout)
 		if *tracePath != "" {
 			fmt.Fprintf(os.Stderr, "wrote %s (open in ui.perfetto.dev)\n", *tracePath)
+		}
+	}
+	if *sanFlag || *all {
+		fmt.Fprintln(os.Stderr, "running sanitized states (plain + mscheck each)...")
+		r, err := bench.RunSanitize()
+		check(err)
+		fmt.Println(r.Format())
+		if !r.Clean() {
+			os.Exit(1)
 		}
 	}
 	if *jsonPath != "" {

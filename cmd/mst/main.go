@@ -9,6 +9,9 @@
 //	mst -trace out.json -e "..."     flight-record the run; open the
 //	                                 JSON in ui.perfetto.dev
 //	mst -profile -e "..."            selector-level virtual-time profile
+//	mst -sanitize -e "..."           run under the mscheck invariant
+//	                                 sanitizer; print its report, exit 1
+//	                                 on any violation
 //	echo "Smalltalk allClasses size" | mst
 package main
 
@@ -33,6 +36,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print system statistics after evaluation")
 	tracePath := flag.String("trace", "", "flight-record the run and write Perfetto trace JSON to this file")
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile after evaluation")
+	sanFlag := flag.Bool("sanitize", false, "attach the mscheck invariant sanitizer; report violations and exit non-zero on any")
 	flag.Parse()
 
 	cfg := mst.DefaultConfig()
@@ -59,6 +63,7 @@ func main() {
 		cfg.TraceEvents = mst.DefaultTraceEvents
 	}
 	cfg.Profile = *profile
+	cfg.Sanitize = *sanFlag
 	sys, err := mst.NewSystem(cfg)
 	check(err)
 	defer sys.Shutdown()
@@ -109,6 +114,14 @@ func main() {
 		check(sys.WriteTrace(f))
 		check(f.Close())
 		fmt.Fprintf(os.Stderr, "mst: wrote %s (open in ui.perfetto.dev)\n", *tracePath)
+	}
+	if *sanFlag {
+		rep, err := sys.SanitizeReport()
+		check(err)
+		fmt.Fprint(os.Stderr, rep)
+		if !sys.Sanitizer().Clean() {
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		st := sys.Stats()

@@ -1,0 +1,68 @@
+// Command msvet runs the repository's custom vet suite (virttime,
+// lockpair, traceguard, heapwrite — see internal/msvet) over the whole
+// module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/msvet ./...
+//
+// The suite is a stdlib-only go/analysis-style driver (no module proxy
+// in the build environment, so golang.org/x/tools and the
+// `go vet -vettool` protocol are unavailable). Arguments are accepted
+// for familiarity but the suite always analyzes the entire module
+// containing the working directory.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mst/internal/msvet"
+)
+
+func main() {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := msvet.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
+		os.Exit(2)
+	}
+	analyzers := msvet.Analyzers()
+	findings, err := msvet.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "msvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("msvet: ok (%d packages, %d analyzers)\n", len(pkgs), len(analyzers))
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

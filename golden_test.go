@@ -93,6 +93,71 @@ func TestGoldenTraceInvariance(t *testing.T) {
 	}
 }
 
+// TestGoldenSanitizeInvariance: the mscheck invariant sanitizer must be
+// as invisible as the flight recorder — sanitizer-on runs leave virtual
+// time and every counter bit-identical — and the real workload must be
+// violation-free in every standard state (the Table 3 disciplines
+// actually hold).
+func TestGoldenSanitizeInvariance(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(sanitized bool) outcome {
+				s := st
+				if sanitized {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.Sanitize = true
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				if sanitized {
+					san := sys.Sanitizer()
+					if san == nil {
+						t.Fatal("sanitizer did not attach")
+					}
+					if !san.Clean() {
+						t.Errorf("%s: sanitizer found violations on the real workload:\n%s",
+							st.Name, san.Report())
+					}
+					if cs := san.Stats(); cs.AccessChecks == 0 || cs.BarrierScans == 0 {
+						t.Errorf("%s: sanitizer did no checking: %+v", st.Name, cs)
+					}
+				}
+				return o
+			}
+			plain, checked := run(false), run(true)
+			if !reflect.DeepEqual(plain.vms, checked.vms) {
+				t.Errorf("%s: virtual times diverge with the sanitizer on: %v vs %v",
+					st.Name, plain.vms, checked.vms)
+			}
+			if !reflect.DeepEqual(plain.stats, checked.stats) {
+				t.Errorf("%s: stats diverge with the sanitizer on:\noff: %+v\non:  %+v",
+					st.Name, plain.stats, checked.stats)
+			}
+		})
+	}
+}
+
 func TestGoldenDeterminism(t *testing.T) {
 	for _, st := range bench.StandardStates() {
 		st := st

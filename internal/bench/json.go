@@ -52,6 +52,10 @@ type JSONReport struct {
 	ICBenches     []string    `json:"inline_cache_benches"`
 	ICIterations  int         `json:"inline_cache_iterations"`
 	InlineCache   []JSONICRow `json:"inline_cache"`
+	// Sanitize is additive (schema msbench/3 readers tolerate its
+	// absence): the mscheck verdict and host-side checker overhead per
+	// state.
+	Sanitize *SanitizeReport `json:"sanitize,omitempty"`
 }
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
@@ -85,6 +89,12 @@ func RunJSONReport() (*JSONReport, error) {
 		sys.Shutdown()
 		r.Table2 = append(r.Table2, js)
 	}
+
+	san, err := RunSanitize()
+	if err != nil {
+		return nil, err
+	}
+	r.Sanitize = san
 
 	ic, err := RunInlineCacheAblation()
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"mst/internal/image"
 	"mst/internal/interp"
 	"mst/internal/object"
+	"mst/internal/sanitize"
 	"mst/internal/trace"
 )
 
@@ -71,6 +72,11 @@ type Config struct {
 	// selector-level virtual-time profiler after boot.
 	TraceEvents int
 	Profile     bool
+	// Sanitize attaches the mscheck invariant sanitizer (lockset +
+	// write-barrier verifier); violations are collected, never fatal.
+	// Like tracing, it reads virtual clocks but never advances them:
+	// a sanitized run is bit-identical to an unsanitized one.
+	Sanitize bool
 
 	// ExtraSources are additional chunk-format sources filed in after
 	// the kernel (applications, benchmarks).
@@ -195,6 +201,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.TraceEvents > 0 {
 		// Attach before boot so every layer caches the recorder.
 		m.SetRecorder(trace.NewRecorder(cfg.TraceEvents))
+	}
+	if cfg.Sanitize {
+		// Likewise before boot: heap and VM cache the checker and
+		// register their guarded structures during construction.
+		m.SetSanitizer(sanitize.New())
 	}
 	sources := append([]string{busyWorkerSource}, cfg.ExtraSources...)
 	vm, err := image.BootOn(m, hcfg, vcfg, sources...)
@@ -390,6 +401,20 @@ func (s *System) ProfileReport(topN int) (string, error) {
 	}
 	s.VM.ProfilerFlush()
 	return pf.Report(topN), nil
+}
+
+// Sanitizer returns the attached invariant checker, or nil when
+// Config.Sanitize was off.
+func (s *System) Sanitizer() *sanitize.Checker { return s.VM.M.Sanitizer() }
+
+// SanitizeReport renders the checker's findings. It errors when the
+// sanitizer was not enabled.
+func (s *System) SanitizeReport() (string, error) {
+	san := s.Sanitizer()
+	if san == nil {
+		return "", fmt.Errorf("core: sanitizer was not enabled (Config.Sanitize)")
+	}
+	return san.Report(), nil
 }
 
 // VirtualTime returns the maximum virtual clock across processors.

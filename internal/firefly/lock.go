@@ -48,6 +48,9 @@ type Spinlock struct {
 func (m *Machine) NewSpinlock(name string, enabled bool) *Spinlock {
 	l := &Spinlock{name: name, enabled: enabled}
 	m.locks = append(m.locks, l)
+	if s := m.san; s != nil {
+		s.RegisterLock(name, enabled)
+	}
 	return l
 }
 
@@ -82,6 +85,9 @@ func (l *Spinlock) Acquire(p *Proc) {
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
 	}
+	if s := p.m.san; s != nil {
+		s.OnAcquire(p.id, int64(p.clock), l.name)
+	}
 }
 
 // TryAcquire takes the lock if it is free at the processor's current
@@ -109,6 +115,9 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
 	}
+	if s := p.m.san; s != nil {
+		s.OnAcquire(p.id, int64(p.clock), l.name)
+	}
 	return true
 }
 
@@ -126,6 +135,9 @@ func (l *Spinlock) Release(p *Proc) {
 	l.freeAt = p.clock
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 1, l.name)
+	}
+	if s := p.m.san; s != nil {
+		s.OnRelease(p.id, int64(p.clock), l.name)
 	}
 }
 
@@ -178,6 +190,9 @@ func (l *RWSpinlock) AcquireRead(p *Proc) {
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 0, in.name)
 	}
+	if s := p.m.san; s != nil {
+		s.OnAcquire(p.id, int64(p.clock), in.name)
+	}
 }
 
 // ReleaseRead leaves the read-side section, extending the read horizon
@@ -192,6 +207,9 @@ func (l *RWSpinlock) ReleaseRead(p *Proc) {
 	}
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 0, l.inner.name)
+	}
+	if s := p.m.san; s != nil {
+		s.OnRelease(p.id, int64(p.clock), l.inner.name)
 	}
 }
 
@@ -223,6 +241,9 @@ func (l *RWSpinlock) AcquireWrite(p *Proc) {
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, in.name)
 	}
+	if s := p.m.san; s != nil {
+		s.OnAcquire(p.id, int64(p.clock), in.name)
+	}
 }
 
 // ReleaseWrite leaves the exclusive section.
@@ -234,5 +255,8 @@ func (l *RWSpinlock) ReleaseWrite(p *Proc) {
 	l.inner.freeAt = p.clock
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 1, l.inner.name)
+	}
+	if s := p.m.san; s != nil {
+		s.OnRelease(p.id, int64(p.clock), l.inner.name)
 	}
 }

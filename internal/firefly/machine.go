@@ -27,6 +27,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"mst/internal/sanitize"
 	"mst/internal/trace"
 )
 
@@ -265,6 +266,12 @@ type Machine struct {
 	// every emission site reduces to one pointer check.
 	rec *trace.Recorder
 
+	// san is the optional Table-3 invariant sanitizer (mscheck); nil
+	// means checking is off and every hook site reduces to one pointer
+	// check. Like the recorder it is pure observation: it never charges
+	// virtual time.
+	san *sanitize.Checker
+
 	// activeProcs counts processors currently executing Smalltalk
 	// Processes (not idling). The shared memory bus degrades as more
 	// processors actively execute; see Costs.BusDivisor.
@@ -319,6 +326,21 @@ func (m *Machine) SetRecorder(r *trace.Recorder) { m.rec = r }
 
 // Recorder returns the attached flight recorder, or nil.
 func (m *Machine) Recorder() *trace.Recorder { return m.rec }
+
+// SetSanitizer attaches an invariant checker; nil detaches it. Locks
+// registered before attachment are backfilled so the attach order
+// relative to subsystem construction does not matter.
+func (m *Machine) SetSanitizer(s *sanitize.Checker) {
+	m.san = s
+	if s != nil {
+		for _, l := range m.locks {
+			s.RegisterLock(l.name, l.enabled)
+		}
+	}
+}
+
+// Sanitizer returns the attached invariant checker, or nil.
+func (m *Machine) Sanitizer() *sanitize.Checker { return m.san }
 
 // Start installs fn as processor i's work function and starts its
 // goroutine, parked until the driver first schedules it. The function

@@ -109,6 +109,7 @@ func (h *Heap) reserve(p *firefly.Proc, total int) uint64 {
 	c := h.m.Costs()
 	for attempt := 0; ; attempt++ {
 		h.allocLock.Acquire(p)
+		h.sanAccess(p, "eden")
 		if h.eden.free() >= total {
 			addr := h.eden.next
 			h.eden.next += uint64(total)
@@ -132,6 +133,10 @@ func (h *Heap) reserve(p *firefly.Proc, total int) uint64 {
 // reserveTLAB bumps the processor's local chunk, refilling from eden.
 func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
 	t := &h.tlabs[p.ID()]
+	if s := h.san; s != nil {
+		// A TLAB is a Table-3 replication row: only its owner bumps it.
+		s.OnOwnedAccess(p.ID(), p.ID(), int64(p.Now()), "tlab")
+	}
 	if t.limit-t.next >= uint64(total) {
 		addr := t.next
 		t.next += uint64(total)
@@ -145,6 +150,7 @@ func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
 	chunk &^= 1 // chunks must keep object addresses even
 	for attempt := 0; ; attempt++ {
 		h.allocLock.Acquire(p)
+		h.sanAccess(p, "eden")
 		if h.eden.free() >= total {
 			n := chunk
 			if n > h.eden.free() {
@@ -174,6 +180,7 @@ func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
 // reserveOld allocates directly in old space (large objects).
 func (h *Heap) reserveOld(p *firefly.Proc, total int) uint64 {
 	h.allocLock.Acquire(p)
+	h.sanAccess(p, "old-space")
 	if h.old.free() < total {
 		h.allocLock.Release(p)
 		panic(OOMError{NeedWords: total})

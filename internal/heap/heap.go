@@ -17,6 +17,7 @@ import (
 
 	"mst/internal/firefly"
 	"mst/internal/object"
+	"mst/internal/sanitize"
 	"mst/internal/trace"
 )
 
@@ -159,6 +160,12 @@ type Heap struct {
 	gcProc int
 	gcAt   int64
 
+	// san is the machine's invariant checker (nil when sanitizing is
+	// off), cached like rec. Access hooks fire inside the locked
+	// sections; the scavenger emits none (stop-the-world mutation is
+	// legitimately lock-free) but triggers the write-barrier verifier.
+	san *sanitize.Checker
+
 	stats Stats
 }
 
@@ -185,6 +192,7 @@ func New(m *firefly.Machine, cfg Config) *Heap {
 		m:   m,
 		mem: make([]uint64, total),
 		rec: m.Recorder(),
+		san: m.Sanitizer(),
 	}
 	base := uint64(object.FirstFreeAddress)
 	h.old = space{base: base, limit: base + uint64(cfg.OldWords), next: base}
@@ -199,6 +207,13 @@ func New(m *firefly.Machine, cfg Config) *Heap {
 
 	h.allocLock = m.NewSpinlock("alloc", cfg.LocksEnabled)
 	h.entryLock = m.NewSpinlock("entry-table", cfg.LocksEnabled)
+	if h.san != nil {
+		// Table-3 serialization rows owned by the heap: the shared
+		// allocation pointers (eden and old space) and the entry table.
+		h.san.RegisterGuard("eden", "alloc")
+		h.san.RegisterGuard("old-space", "alloc")
+		h.san.RegisterGuard("remembered-set", "entry-table")
+	}
 	h.tlabs = make([]tlab, m.NumProcs())
 	h.handlePools = make([]*handlePool, m.NumProcs())
 	for i := range h.handlePools {
@@ -282,6 +297,18 @@ func (h *Heap) StoreNoCheck(o object.OOP, i int, v object.OOP) {
 	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = uint64(v)
 }
 
+// sanAccess reports an access to a serialized heap structure to the
+// invariant checker; call it from inside the guarding critical
+// section. The scavenger deliberately calls nothing here: during a
+// stop-the-world collection the scavenging processor mutates every
+// space lock-free, which is the reorganization the paper's rendezvous
+// makes safe.
+func (h *Heap) sanAccess(p *firefly.Proc, structure string) {
+	if s := h.san; s != nil {
+		s.OnAccess(p.ID(), int64(p.Now()), structure)
+	}
+}
+
 func (h *Heap) storeCheck(p *firefly.Proc, o, v object.OOP) {
 	if o.Addr() >= h.newBase || !h.InNewSpace(v) {
 		return
@@ -297,6 +324,7 @@ func (h *Heap) storeCheck(p *firefly.Proc, o, v object.OOP) {
 		return
 	}
 	h.entryLock.Acquire(p)
+	h.sanAccess(p, "remembered-set")
 	hd = h.Header(o) // re-read under the lock
 	if !hd.Remembered() {
 		h.SetHeader(o, hd.SetRemembered(true))

@@ -118,6 +118,7 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 	if h.rec != nil {
 		h.rec.Emit(trace.KScavengeEnd, p.ID(), int64(p.Now()), int64(objs), int64(words), "")
 	}
+	h.verifyWriteBarrier(p)
 
 	for _, f := range h.postGC {
 		f()

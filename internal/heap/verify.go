@@ -1,0 +1,96 @@
+package heap
+
+import (
+	"fmt"
+
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// verifyWriteBarrier is mscheck's write-barrier engine: an independent,
+// read-only rescan of old space (plus the immortal area) run at the end
+// of every scavenge when a sanitizer is attached. A scavenge has just
+// reset eden and the previous survivor semispace, so the entry table is
+// exactly the set of old objects that reference new space; any old→new
+// pointer in an object outside the table means a store bypassed the
+// store check, and any pointer into a reclaimed region is the dangling
+// reference such a bypass leaves behind once the target is collected or
+// moved. Violations go to the checker; nothing in the heap is written.
+//
+// This file is intentionally read-only (it never assigns to h.mem);
+// msvet's heapwrite analyzer keeps it that way by excluding it from the
+// barrier-API allowlist.
+func (h *Heap) verifyWriteBarrier(p *firefly.Proc) {
+	san := h.san
+	if san == nil {
+		return
+	}
+
+	// Live new space right after a scavenge: the (new) past survivor
+	// space up to its allocation frontier. Eden and the other semispace
+	// were just reclaimed.
+	live := h.surv[h.past]
+	liveNew := func(a uint64) bool { return a >= live.base && a < live.next }
+
+	inTable := make(map[object.OOP]bool, len(h.remembered))
+	for _, o := range h.remembered {
+		inTable[o] = true
+	}
+
+	at := int64(p.Now())
+	words := h.old.next - h.old.base
+
+	checkField := func(o object.OOP, what string, v object.OOP) bool {
+		if !v.IsPtr() || v == object.Invalid || v.Addr() < h.newBase {
+			return false
+		}
+		if !liveNew(v.Addr()) {
+			san.ReportWriteBarrier(p.ID(), at, fmt.Sprintf(
+				"old object %#x %s points into reclaimed new space (%#x): a store bypassed the store check",
+				o.Addr(), what, v.Addr()))
+			return false
+		}
+		return true
+	}
+
+	scan := func(o object.OOP) {
+		addr := o.Addr()
+		hd := object.Header(h.mem[addr])
+		refsNew := checkField(o, "class word", object.OOP(h.mem[addr+1]))
+		if hd.Format() == object.FmtPointers {
+			for i := 0; i < hd.BodyWords(); i++ {
+				v := object.OOP(h.mem[addr+object.HeaderWords+uint64(i)])
+				if checkField(o, fmt.Sprintf("field %d", i), v) {
+					refsNew = true
+				}
+			}
+		}
+		if refsNew && !inTable[o] {
+			san.ReportWriteBarrier(p.ID(), at, fmt.Sprintf(
+				"old object %#x references new space but is not in the entry table: a store bypassed the store check",
+				o.Addr()))
+		}
+		if !refsNew && inTable[o] {
+			san.ReportWriteBarrier(p.ID(), at, fmt.Sprintf(
+				"entry table retains old object %#x which no longer references new space",
+				o.Addr()))
+		}
+		if inTable[o] != hd.Remembered() {
+			san.ReportWriteBarrier(p.ID(), at, fmt.Sprintf(
+				"old object %#x: remembered header bit (%v) disagrees with entry-table membership (%v)",
+				o.Addr(), hd.Remembered(), inTable[o]))
+		}
+	}
+
+	for _, fixed := range []object.OOP{object.Nil, object.True, object.False} {
+		scan(fixed)
+		words += uint64(object.Header(h.mem[fixed.Addr()]).SizeWords())
+	}
+	a := h.old.base
+	for a < h.old.next {
+		o := object.FromAddr(a)
+		scan(o)
+		a += uint64(object.Header(h.mem[a]).SizeWords())
+	}
+	san.NoteBarrierScan(words)
+}

@@ -26,9 +26,19 @@ func (vm *VM) readyList(priority int) object.OOP {
 	return vm.H.Fetch(lists, priority-1)
 }
 
+// sanAccess reports an access to a serialized interpreter structure to
+// the invariant checker; call it from inside the guarding critical
+// section.
+func (vm *VM) sanAccess(p *firefly.Proc, structure string) {
+	if s := vm.san; s != nil {
+		s.OnAccess(p.ID(), int64(p.Now()), structure)
+	}
+}
+
 // listAppend links proc at the tail of list. Caller holds the lock.
 func (vm *VM) listAppend(p *firefly.Proc, list, proc object.OOP) {
 	h := vm.H
+	vm.sanAccess(p, "ready-queue")
 	p.Advance(vm.M.Costs().SchedOp)
 	h.Store(p, proc, PrMyList, list)
 	h.StoreNoCheck(proc, PrNextLink, object.Nil)
@@ -45,6 +55,7 @@ func (vm *VM) listAppend(p *firefly.Proc, list, proc object.OOP) {
 // Caller holds the lock.
 func (vm *VM) listRemove(p *firefly.Proc, list, proc object.OOP) bool {
 	h := vm.H
+	vm.sanAccess(p, "ready-queue")
 	p.Advance(vm.M.Costs().SchedOp)
 	prev := object.Nil
 	cur := h.Fetch(list, LLFirst)
@@ -81,6 +92,7 @@ func (vm *VM) unlinkFromCurrentList(p *firefly.Proc, proc object.OOP) {
 // Processes stay on the queue and are skipped). Caller holds the lock.
 func (vm *VM) findReady(p *firefly.Proc) object.OOP {
 	h := vm.H
+	vm.sanAccess(p, "ready-queue")
 	for pri := NumPriorities; pri >= 1; pri-- {
 		list := vm.readyList(pri)
 		cur := h.Fetch(list, LLFirst)

@@ -37,8 +37,14 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 		vm.cacheLock.AcquireRead(in.p)
 		locked = true
 		cache = vm.sharedCache
+		vm.sanAccess(in.p, "shared-method-cache")
 	} else {
 		cache = in.cache
+		if s := vm.san; s != nil {
+			// Replicated caches are a Table-3 replication row: each is
+			// only ever probed by its owning processor.
+			s.OnOwnedAccess(in.p.ID(), in.p.ID(), int64(in.p.Now()), "method-cache-replica")
+		}
 	}
 	idx := cacheIndex(selector, class)
 	in.p.Advance(in.probeCost)
@@ -88,6 +94,7 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 	}
 	if in.sharedLocked {
 		vm.cacheLock.AcquireWrite(in.p)
+		vm.sanAccess(in.p, "shared-method-cache")
 		vm.sharedCache[idx] = mcEntry{selector, class, method, prim}
 		vm.cacheLock.ReleaseWrite(in.p)
 	} else {
@@ -360,6 +367,7 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 			which = 1
 		}
 		vm.freeLock.Acquire(in.p)
+		vm.sanAccess(in.p, "shared-free-contexts")
 		if len(vm.sharedFreeCtx[which]) < freeListMax {
 			vm.sharedFreeCtx[which] = append(vm.sharedFreeCtx[which], ctx)
 			if in.rec != nil {
@@ -368,6 +376,11 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 		}
 		vm.freeLock.Release(in.p)
 		return
+	}
+	if s := vm.san; s != nil {
+		// Per-processor free context lists are a Table-3 replication
+		// row (the paper's fix for the 160% worst-case overhead).
+		s.OnOwnedAccess(in.p.ID(), in.p.ID(), int64(in.p.Now()), "free-contexts-replica")
 	}
 	if large {
 		if len(in.freeLarge) < freeListMax {
@@ -395,6 +408,7 @@ func (in *Interp) allocContext(large bool) object.OOP {
 			which = 1
 		}
 		vm.freeLock.Acquire(in.p)
+		vm.sanAccess(in.p, "shared-free-contexts")
 		list := vm.sharedFreeCtx[which]
 		if n := len(list); n > 0 {
 			ctx := list[n-1]

@@ -22,6 +22,7 @@ import (
 	"mst/internal/firefly"
 	"mst/internal/heap"
 	"mst/internal/object"
+	"mst/internal/sanitize"
 	"mst/internal/trace"
 )
 
@@ -384,6 +385,10 @@ type VM struct {
 	methodNames   map[object.OOP]string
 	selectorNames map[object.OOP]string
 
+	// san is the machine's invariant checker (nil when sanitizing is
+	// off), cached like each interpreter's rec.
+	san *sanitize.Checker
+
 	stats  Stats
 	errors []string
 }
@@ -412,9 +417,23 @@ func New(m *firefly.Machine, h *heap.Heap, cfg Config) *VM {
 		cacheLock: m.NewRWSpinlock("method-cache", cfg.MSMode && cfg.MethodCache == CacheSharedLocked),
 		freeLock:  m.NewSpinlock("free-contexts", cfg.MSMode && cfg.FreeContexts == FreeCtxSharedLocked),
 		symbolIdx: map[string]int{},
+		san:       m.Sanitizer(),
 	}
 	if cfg.MethodCache == CacheSharedLocked {
 		vm.sharedCache = new([cacheSize]mcEntry)
+	}
+	if vm.san != nil {
+		// Table-3 serialization rows owned by the interpreter: the
+		// shared ready queue always; the shared method cache and shared
+		// free context lists only under their serialized policies (the
+		// replicated defaults are validated by ownership hooks instead).
+		vm.san.RegisterGuard("ready-queue", "scheduler")
+		if cfg.MethodCache == CacheSharedLocked {
+			vm.san.RegisterGuard("shared-method-cache", "method-cache")
+		}
+		if cfg.FreeContexts == FreeCtxSharedLocked {
+			vm.san.RegisterGuard("shared-free-contexts", "free-contexts")
+		}
 	}
 
 	// Register roots.

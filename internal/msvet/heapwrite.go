@@ -1,0 +1,100 @@
+package msvet
+
+import (
+	"go/ast"
+)
+
+// heapwriteAllow lists the only files permitted to write heap words
+// directly: the allocator (zeroing fresh space), the collectors
+// (moving objects wholesale), and the heap core (Store / StoreNoCheck,
+// the barrier API itself). Everything else — interpreter, display,
+// image loader, the write-barrier *verifier* — must go through the
+// barrier API so the store check (Table 3's entry-table serialization)
+// can never be bypassed silently. verify.go is deliberately absent:
+// the verifier is read-only by construction, and this analyzer keeps
+// it that way.
+var heapwriteAllow = map[string]map[string]bool{
+	"internal/heap": {
+		"alloc.go":    true,
+		"fullgc.go":   true,
+		"heap.go":     true,
+		"scavenge.go": true,
+		"snapshot.go": true, // stop-the-world wholesale restore, collector-class
+	},
+}
+
+// HeapwriteAnalyzer flags direct heap word writes (`X.mem[...] = v`,
+// `copy(X.mem[...], ...)`) outside the allowlist.
+var HeapwriteAnalyzer = &Analyzer{
+	Name: "heapwrite",
+	Doc:  "no direct heap word writes outside the barrier/collector files",
+	Run: func(pass *Pass) error {
+		allowed := heapwriteAllow[pass.Path]
+		for _, f := range pass.Files {
+			if f.Test || allowed[f.Name] {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if memTarget(lhs) {
+							pass.Reportf(lhs.Pos(),
+								"direct heap word write %s bypasses the store check; use the barrier API (Store/StoreNoCheck)",
+								exprString(lhs))
+						}
+					}
+				case *ast.IncDecStmt:
+					if memTarget(n.X) {
+						pass.Reportf(n.Pos(),
+							"direct heap word write %s bypasses the store check; use the barrier API",
+							exprString(n.X))
+					}
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) > 0 {
+						if memSlice(n.Args[0]) {
+							pass.Reportf(n.Pos(),
+								"copy into heap memory bypasses the store check; use the barrier API")
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// memTarget reports whether e is an index into a `.mem` field
+// (or a local named mem).
+func memTarget(e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return isMemExpr(idx.X)
+}
+
+// memSlice reports whether e slices or names heap memory
+// (`X.mem[a:b]`, `X.mem`).
+func memSlice(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return isMemExpr(e.X)
+	case *ast.IndexExpr:
+		return isMemExpr(e.X)
+	default:
+		return isMemExpr(e)
+	}
+}
+
+func isMemExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "mem"
+	case *ast.Ident:
+		return e.Name == "mem"
+	default:
+		return false
+	}
+}

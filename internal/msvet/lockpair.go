@@ -1,0 +1,461 @@
+package msvet
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockpairAnalyzer checks that every virtual-spinlock acquisition is
+// paired with its matching release:
+//
+//  1. Lexically: a function (or method) that calls X.Acquire must call
+//     X.Release somewhere in the same declaration (likewise
+//     AcquireRead/ReleaseRead and AcquireWrite/ReleaseWrite, with
+//     TryAcquire pairing like Acquire). Catching the
+//     forgot-the-release-entirely bug.
+//  2. By path simulation: walking each function's statements with a
+//     held-lock state (definite / maybe, branches merged), no lock
+//     acquired in the function may be *definitely* held at a return.
+//     Catching the released-on-one-path-only bug. Locks whose state is
+//     merely "maybe" (conditional acquire patterns such as the
+//     shared-cache `locked` flag) are not flagged — the simulator does
+//     not track boolean correlations, and a false positive would teach
+//     people to ignore the tool.
+//
+// Test files are excluded: fault-injection tests acquire without
+// releasing on purpose.
+var LockpairAnalyzer = &Analyzer{
+	Name: "lockpair",
+	Doc:  "every Spinlock acquire must pair with its release on all paths",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkLexicalPairs(pass, fd)
+				sim := &lockSim{pass: pass}
+				sim.runBody(fd.Body)
+				// Nested function literals are separate scopes: a lock
+				// acquired inside one must be released inside it.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						inner := &lockSim{pass: pass}
+						inner.runBody(lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	},
+}
+
+// releaseFor maps acquire method names to their release counterparts.
+var releaseFor = map[string]string{
+	"Acquire":      "Release",
+	"TryAcquire":   "Release",
+	"AcquireRead":  "ReleaseRead",
+	"AcquireWrite": "ReleaseWrite",
+}
+
+// lockCall decomposes a call expression into (receiver key, method);
+// ok is false for non-method calls.
+func lockCall(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// checkLexicalPairs flags acquire calls with no matching release call
+// anywhere in the same declaration (including nested literals — the
+// path simulation handles scope strictness).
+func checkLexicalPairs(pass *Pass, fd *ast.FuncDecl) {
+	type site struct {
+		pos  ast.Node
+		recv string
+	}
+	acquires := map[string][]site{} // key recv+"#"+release → sites
+	releases := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := lockCall(call)
+		if !ok {
+			return true
+		}
+		if rel, isAcq := releaseFor[method]; isAcq {
+			key := recv + "#" + rel
+			acquires[key] = append(acquires[key], site{pos: call, recv: recv})
+		}
+		switch method {
+		case "Release", "ReleaseRead", "ReleaseWrite":
+			releases[recv+"#"+method] = true
+		}
+		return true
+	})
+	var keys []string
+	for k := range acquires {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if releases[k] {
+			continue
+		}
+		for _, s := range acquires[k] {
+			pass.Reportf(s.pos.Pos(), "%s is acquired in %s but never released in the same function",
+				s.recv, fd.Name.Name)
+		}
+	}
+}
+
+// ---- Path simulation ----
+
+const (
+	heldMaybe    = 1
+	heldDefinite = 2
+)
+
+type lockState map[string]int
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge combines two non-terminated path states: definite only where
+// both paths agree, maybe elsewhere.
+func merge(a, b lockState) lockState {
+	out := lockState{}
+	for k, v := range a {
+		if b[k] == heldDefinite && v == heldDefinite {
+			out[k] = heldDefinite
+		} else {
+			out[k] = heldMaybe
+		}
+	}
+	for k := range b {
+		if _, seen := a[k]; !seen {
+			out[k] = heldMaybe
+		}
+	}
+	return out
+}
+
+type lockSim struct {
+	pass *Pass
+}
+
+func (s *lockSim) runBody(body *ast.BlockStmt) {
+	state := lockState{}
+	terminated := s.simBlock(state, body)
+	if !terminated {
+		s.checkExit(state, body.End())
+	}
+}
+
+// checkExit reports locks definitely held when control leaves the
+// function.
+func (s *lockSim) checkExit(state lockState, pos token.Pos) {
+	var keys []string
+	for k, v := range state {
+		if v == heldDefinite {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		recv := k
+		for i := 0; i < len(k); i++ {
+			if k[i] == '#' {
+				recv = k[:i]
+				break
+			}
+		}
+		s.pass.Reportf(pos, "%s is still held when the function returns on this path", recv)
+	}
+}
+
+// simBlock simulates stmts in order, mutating state; reports whether
+// the path terminated (return/panic/branch).
+func (s *lockSim) simBlock(state lockState, block *ast.BlockStmt) bool {
+	for _, st := range block.List {
+		if s.simStmt(state, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockSim) simStmt(state lockState, stmt ast.Stmt) bool {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			s.applyCall(state, call, true)
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			ast.Inspect(rhs, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					// An acquire whose result flows into a variable:
+					// conservatively maybe-held.
+					s.applyCall(state, call, false)
+				}
+				return true
+			})
+		}
+		return false
+	case *ast.ReturnStmt:
+		s.checkExit(state, st.Pos())
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear path; the loop merge
+		// below already treats loop bodies as may-execute.
+		return true
+	case *ast.DeferStmt:
+		// A deferred release covers every exit: drop the lock from the
+		// state entirely.
+		if recv, method, ok := lockCall(st.Call); ok {
+			switch method {
+			case "Release", "ReleaseRead", "ReleaseWrite":
+				delete(state, recv+"#"+method)
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		return s.simBlock(state, st)
+	case *ast.LabeledStmt:
+		return s.simStmt(state, st.Stmt)
+	case *ast.IfStmt:
+		return s.simIf(state, st)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.simStmt(state, st.Init)
+		}
+		s.mergeLoopBody(state, st.Body)
+		return false
+	case *ast.RangeStmt:
+		s.mergeLoopBody(state, st.Body)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		s.simCases(state, stmt)
+		return false
+	case *ast.GoStmt:
+		return false
+	default:
+		return false
+	}
+}
+
+// applyCall updates state for an acquire/release call. definite is
+// false when the call's result flows somewhere we cannot track.
+func (s *lockSim) applyCall(state lockState, call *ast.CallExpr, definite bool) {
+	recv, method, ok := lockCall(call)
+	if !ok {
+		return
+	}
+	if rel, isAcq := releaseFor[method]; isAcq {
+		v := heldDefinite
+		if !definite || method == "TryAcquire" {
+			v = heldMaybe
+		}
+		state[recv+"#"+rel] = v
+		return
+	}
+	switch method {
+	case "Release", "ReleaseRead", "ReleaseWrite":
+		delete(state, recv+"#"+method)
+	}
+}
+
+// simIf handles if statements, with special cases for the TryAcquire
+// idioms `if !X.TryAcquire(p) { ...bail... }` and
+// `if X.TryAcquire(p) { ...locked section... }`.
+func (s *lockSim) simIf(state lockState, st *ast.IfStmt) bool {
+	if st.Init != nil {
+		s.simStmt(state, st.Init)
+	}
+
+	cond := st.Cond
+	negated := false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op.String() == "!" {
+		cond, negated = u.X, true
+	}
+	if call, ok := cond.(*ast.CallExpr); ok {
+		if recv, method, isLock := lockCall(call); isLock && method == "TryAcquire" {
+			key := recv + "#Release"
+			if negated {
+				// if !X.TryAcquire: then-branch runs unlocked; the
+				// fall-through (and else) path holds the lock.
+				thenState := state.clone()
+				thenTerm := s.simBlock(thenState, st.Body)
+				heldState := state.clone()
+				heldState[key] = heldDefinite
+				if st.Else != nil {
+					elseTerm := s.simElse(heldState, st.Else)
+					if thenTerm && elseTerm {
+						return true
+					}
+					if thenTerm {
+						replace(state, heldState)
+						return false
+					}
+					if elseTerm {
+						replace(state, thenState)
+						return false
+					}
+					replace(state, merge(thenState, heldState))
+					return false
+				}
+				if thenTerm {
+					replace(state, heldState)
+					return false
+				}
+				replace(state, merge(thenState, heldState))
+				return false
+			}
+			// if X.TryAcquire: the then-branch holds the lock.
+			thenState := state.clone()
+			thenState[key] = heldDefinite
+			thenTerm := s.simBlock(thenState, st.Body)
+			elseState := state.clone()
+			elseTerm := false
+			if st.Else != nil {
+				elseTerm = s.simElse(elseState, st.Else)
+			}
+			return s.joinIf(state, thenState, thenTerm, elseState, elseTerm)
+		}
+	}
+
+	thenState := state.clone()
+	thenTerm := s.simBlock(thenState, st.Body)
+	elseState := state.clone()
+	elseTerm := false
+	if st.Else != nil {
+		elseTerm = s.simElse(elseState, st.Else)
+	}
+	return s.joinIf(state, thenState, thenTerm, elseState, elseTerm)
+}
+
+func (s *lockSim) simElse(state lockState, els ast.Stmt) bool {
+	switch e := els.(type) {
+	case *ast.BlockStmt:
+		return s.simBlock(state, e)
+	case *ast.IfStmt:
+		return s.simIf(state, e)
+	default:
+		return s.simStmt(state, e)
+	}
+}
+
+// joinIf merges the two branch outcomes back into state; reports
+// whether both branches terminated.
+func (s *lockSim) joinIf(state, thenState lockState, thenTerm bool, elseState lockState, elseTerm bool) bool {
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		replace(state, elseState)
+	case elseTerm:
+		replace(state, thenState)
+	default:
+		replace(state, merge(thenState, elseState))
+	}
+	return false
+}
+
+// mergeLoopBody simulates a loop body that may run zero or more times:
+// the post-loop state is the merge of skipping and one execution.
+func (s *lockSim) mergeLoopBody(state lockState, body *ast.BlockStmt) {
+	bodyState := state.clone()
+	terminated := s.simBlock(bodyState, body)
+	if terminated {
+		return // every in-body path returns/branches; fall-through keeps state
+	}
+	replace(state, merge(state, bodyState))
+}
+
+// simCases merges every case clause of a switch/select.
+func (s *lockSim) simCases(state lockState, stmt ast.Stmt) {
+	var body *ast.BlockStmt
+	var init ast.Stmt
+	hasDefault := false
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		body, init = st.Body, st.Init
+	case *ast.TypeSwitchStmt:
+		body, init = st.Body, st.Init
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	if init != nil {
+		s.simStmt(state, init)
+	}
+	outcomes := []lockState{}
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		cs := state.clone()
+		term := false
+		for _, cstmt := range stmts {
+			if s.simStmt(cs, cstmt) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			outcomes = append(outcomes, cs)
+		}
+	}
+	if !hasDefault {
+		outcomes = append(outcomes, state.clone())
+	}
+	if len(outcomes) == 0 {
+		return
+	}
+	acc := outcomes[0]
+	for _, o := range outcomes[1:] {
+		acc = merge(acc, o)
+	}
+	replace(state, acc)
+}
+
+// replace overwrites state's contents with src (maps are passed by
+// reference; callers mutate the caller-visible state in place).
+func replace(state, src lockState) {
+	for k := range state {
+		delete(state, k)
+	}
+	for k, v := range src {
+		state[k] = v
+	}
+}

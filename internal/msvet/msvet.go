@@ -1,0 +1,209 @@
+// Package msvet is a custom vet suite enforcing the host-code
+// discipline this repository's virtual-time simulation depends on.
+// Four analyzers:
+//
+//   - virttime:   no time.Now / math/rand in virtual-time packages —
+//     host wall-clock or host randomness anywhere in the simulated
+//     machine would break bit-identical determinism.
+//   - lockpair:   every Spinlock/RWSpinlock acquire is paired with the
+//     matching release — lexically somewhere in the same function, and
+//     (by path simulation) never still definitely held at a return.
+//   - traceguard: trace/sanitize hook emissions are guarded by nil
+//     checks, so detached observers cost one pointer test and can
+//     never panic.
+//   - heapwrite:  no direct writes to heap words (`.mem[...]`) outside
+//     the heap package's barrier/collector files — everything else
+//     must go through Store and friends, which carry the store check.
+//
+// The suite is intentionally stdlib-only (go/ast + go/parser): the
+// build environment has no module proxy access, so the
+// golang.org/x/tools go/analysis driver (and the `go vet -vettool`
+// unitchecker protocol that requires it) is unavailable. The Analyzer
+// and Pass types mirror the go/analysis API shape so the analyzers
+// could be ported to real analysis.Analyzers by swapping the driver.
+// Run it as: go run ./cmd/msvet ./...
+package msvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, go/analysis style.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's worth of parsed files into an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path relative to the module root
+	// (e.g. "internal/firefly"; "." for the root package).
+	Path string
+	// Files maps each parsed file to its file name (base name only).
+	Files []*File
+
+	report func(Finding)
+}
+
+// File is one parsed source file.
+type File struct {
+	Name string // base name, e.g. "lock.go"
+	Test bool   // *_test.go
+	AST  *ast.File
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported problem.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		VirttimeAnalyzer,
+		LockpairAnalyzer,
+		TraceguardAnalyzer,
+		HeapwriteAnalyzer,
+	}
+}
+
+// Package is one directory's parsed files.
+type Package struct {
+	Path  string // module-relative dir ("." for root)
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// LoadModule parses every package under root (the directory containing
+// go.mod), skipping .git and testdata directories.
+func LoadModule(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := map[string][]*File{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("msvet: %v", err)
+		}
+		dir, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		byDir[filepath.ToSlash(dir)] = append(byDir[filepath.ToSlash(dir)], &File{
+			Name: info.Name(),
+			Test: strings.HasSuffix(info.Name(), "_test.go"),
+			AST:  f,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, d := range dirs {
+		files := byDir[d]
+		sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+		pkgs = append(pkgs, &Package{Path: d, Fset: fset, Files: files})
+	}
+	return pkgs, nil
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				report:   func(f Finding) { findings = append(findings, f) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("msvet: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// exprString renders an expression compactly for matching and
+// messages (selector chains, identifiers, calls, indexes).
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

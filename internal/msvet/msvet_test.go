@@ -1,0 +1,400 @@
+package msvet
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// runOn parses the given sources (name → content) as one package at
+// pkgPath and runs a single analyzer over it.
+func runOn(t *testing.T, a *Analyzer, pkgPath string, sources map[string]string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*File
+	for name, src := range sources {
+		f, err := parser.ParseFile(fset, name, src, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, &File{
+			Name: name,
+			Test: strings.HasSuffix(name, "_test.go"),
+			AST:  f,
+		})
+	}
+	var findings []Finding
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Path:     pkgPath,
+		Files:    files,
+		report:   func(f Finding) { findings = append(findings, f) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	return findings
+}
+
+func wantFindings(t *testing.T, got []Finding, n int, contains string) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("got %d findings, want %d: %v", len(got), n, got)
+	}
+	if n > 0 && contains != "" && !strings.Contains(got[0].Message, contains) {
+		t.Errorf("finding %q does not mention %q", got[0].Message, contains)
+	}
+}
+
+// ---- virttime ----
+
+func TestVirttimeFlagsHostClock(t *testing.T) {
+	got := runOn(t, VirttimeAnalyzer, "internal/firefly", map[string]string{
+		"bad.go": `package firefly
+import "time"
+var t0 = time.Now()
+`,
+	})
+	wantFindings(t, got, 1, "determinism")
+}
+
+func TestVirttimeAllowsHostPackagesAndTests(t *testing.T) {
+	got := runOn(t, VirttimeAnalyzer, "internal/bench", map[string]string{
+		"ok.go": `package bench
+import "time"
+var t0 = time.Now()
+`,
+	})
+	wantFindings(t, got, 0, "")
+	got = runOn(t, VirttimeAnalyzer, "internal/firefly", map[string]string{
+		"ok_test.go": `package firefly
+import "time"
+var t0 = time.Now()
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+func TestVirttimeFlagsMathRand(t *testing.T) {
+	got := runOn(t, VirttimeAnalyzer, "internal/interp", map[string]string{
+		"bad.go": `package interp
+import "math/rand"
+var x = rand.Int()
+`,
+	})
+	wantFindings(t, got, 1, "randomness")
+}
+
+// ---- lockpair ----
+
+func TestLockpairFlagsMissingRelease(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/x", map[string]string{
+		"bad.go": `package x
+func f(l *Spinlock, p *Proc) {
+	l.Acquire(p)
+	work()
+}
+`,
+	})
+	// Both the lexical check and the path simulation fire.
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2 (lexical + path): %v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, "never released") {
+		t.Errorf("first finding: %q", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "still held") {
+		t.Errorf("second finding: %q", got[1].Message)
+	}
+}
+
+func TestLockpairFlagsLeakOnOnePath(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/x", map[string]string{
+		"bad.go": `package x
+func f(l *Spinlock, p *Proc, cond bool) {
+	l.Acquire(p)
+	if cond {
+		return // BUG: still holding l
+	}
+	l.Release(p)
+}
+`,
+	})
+	wantFindings(t, got, 1, "still held")
+}
+
+func TestLockpairCleanPatterns(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/x", map[string]string{
+		"ok.go": `package x
+func plain(l *Spinlock, p *Proc) {
+	l.Acquire(p)
+	work()
+	l.Release(p)
+}
+func deferred(l *Spinlock, p *Proc) {
+	l.Acquire(p)
+	defer l.Release(p)
+	work()
+}
+func earlyOut(l *Spinlock, p *Proc, n int) {
+	l.Acquire(p)
+	if n > 0 {
+		l.Release(p)
+		return
+	}
+	work()
+	l.Release(p)
+}
+func tryBail(l *Spinlock, p *Proc) {
+	if !l.TryAcquire(p) {
+		p.CheckYield()
+		return
+	}
+	work()
+	l.Release(p)
+}
+func tryBlock(l *Spinlock, p *Proc) {
+	if l.TryAcquire(p) {
+		work()
+		l.Release(p)
+	}
+}
+func rw(l *RWSpinlock, p *Proc) {
+	l.AcquireRead(p)
+	work()
+	l.ReleaseRead(p)
+	l.AcquireWrite(p)
+	work()
+	l.ReleaseWrite(p)
+}
+func panics(l *Spinlock, p *Proc, bad bool) {
+	l.Acquire(p)
+	if bad {
+		l.Release(p)
+		panic("bad")
+	}
+	l.Release(p)
+}
+func correlated(l *RWSpinlock, p *Proc, shared bool) {
+	locked := false
+	if shared {
+		l.AcquireRead(p)
+		locked = true
+	}
+	work()
+	if locked {
+		l.ReleaseRead(p)
+	}
+}
+func loops(l *Spinlock, p *Proc, n int) {
+	for i := 0; i < n; i++ {
+		l.Acquire(p)
+		work()
+		l.Release(p)
+	}
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+func TestLockpairFlagsReadWriteMismatch(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/x", map[string]string{
+		"bad.go": `package x
+func f(l *RWSpinlock, p *Proc) {
+	l.AcquireWrite(p)
+	work()
+	l.ReleaseRead(p) // BUG: wrong release flavor
+}
+`,
+	})
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2 (lexical + path): %v", len(got), got)
+	}
+}
+
+func TestLockpairSkipsTestFiles(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/x", map[string]string{
+		"fault_test.go": `package x
+func f(l *Spinlock, p *Proc) {
+	l.Acquire(p) // deliberate fault injection
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+func TestLockpairFuncLitIsOwnScope(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/x", map[string]string{
+		"bad.go": `package x
+func f(l *Spinlock, m *Machine) {
+	m.Start(0, func(p *Proc) {
+		l.Acquire(p)
+		work()
+	})
+}
+`,
+	})
+	// Lexical check (whole decl) and the literal's own path simulation.
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(got), got)
+	}
+}
+
+// ---- traceguard ----
+
+func TestTraceguardFlagsUnguardedHook(t *testing.T) {
+	got := runOn(t, TraceguardAnalyzer, "internal/heap", map[string]string{
+		"bad.go": `package heap
+func f(h *Heap, p *Proc) {
+	h.rec.Emit(trace.KSend, p.ID(), 0, 0, 0, "")
+	h.san.OnAccess(p.ID(), 0, "eden")
+}
+`,
+	})
+	wantFindings(t, got, 2, "not nil-guarded")
+}
+
+func TestTraceguardAcceptsGuardIdioms(t *testing.T) {
+	got := runOn(t, TraceguardAnalyzer, "internal/heap", map[string]string{
+		"ok.go": `package heap
+func enclosing(h *Heap, p *Proc) {
+	if h.rec != nil {
+		h.rec.Emit(trace.KSend, p.ID(), 0, 0, 0, "")
+	}
+}
+func ifInit(h *Heap, p *Proc) {
+	if s := h.san; s != nil {
+		s.OnAccess(p.ID(), 0, "eden")
+	}
+}
+func earlyReturn(h *Heap, p *Proc) {
+	san := h.san
+	if san == nil {
+		return
+	}
+	check := func(o uint64) {
+		san.ReportWriteBarrier(0, 0, "x", "y")
+	}
+	check(0)
+	san.NoteBarrierScan(12)
+}
+func conjoined(h *Heap, p *Proc) {
+	if h.rec != nil && p != nil {
+		h.rec.Emit(trace.KSend, p.ID(), 0, 0, 0, "")
+	}
+}
+func elseOfNil(h *Heap, p *Proc) {
+	if h.san == nil {
+		work()
+	} else {
+		h.san.OnAccess(p.ID(), 0, "eden")
+	}
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+func TestTraceguardIgnoresAssemblerEmit(t *testing.T) {
+	got := runOn(t, TraceguardAnalyzer, "internal/compiler", map[string]string{
+		"ok.go": `package compiler
+func f(g *gen) {
+	g.asm.Emit(bytecode.OpPushSelf, 0)
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+func TestTraceguardGuardDoesNotLeakAcrossBranches(t *testing.T) {
+	got := runOn(t, TraceguardAnalyzer, "internal/heap", map[string]string{
+		"bad.go": `package heap
+func f(h *Heap, p *Proc, cond bool) {
+	if h.san == nil {
+		work() // no return: the guard proves nothing below
+	}
+	h.san.OnAccess(p.ID(), 0, "eden")
+}
+`,
+	})
+	wantFindings(t, got, 1, "not nil-guarded")
+}
+
+// ---- heapwrite ----
+
+func TestHeapwriteFlagsDirectWrite(t *testing.T) {
+	got := runOn(t, HeapwriteAnalyzer, "internal/interp", map[string]string{
+		"bad.go": `package interp
+func f(h *Heap, addr uint64, v uint64) {
+	h.mem[addr] = v
+	copy(h.mem[addr:], []uint64{v})
+}
+`,
+	})
+	wantFindings(t, got, 2, "store check")
+}
+
+func TestHeapwriteVerifierStaysReadOnly(t *testing.T) {
+	got := runOn(t, HeapwriteAnalyzer, "internal/heap", map[string]string{
+		"verify.go": `package heap
+func (h *Heap) patch(addr uint64, v uint64) {
+	h.mem[addr] = v
+}
+`,
+	})
+	wantFindings(t, got, 1, "store check")
+}
+
+func TestHeapwriteAllowsCollectorFiles(t *testing.T) {
+	got := runOn(t, HeapwriteAnalyzer, "internal/heap", map[string]string{
+		"scavenge.go": `package heap
+func (h *Heap) move(dst, src uint64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		h.mem[dst+i] = h.mem[src+i]
+	}
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+// ---- framework ----
+
+func TestFindingsSortedAndFormatted(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "b.go", `package x
+import "time"
+var t0 = time.Now()
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "internal/firefly", Fset: fset,
+		Files: []*File{{Name: "b.go", AST: f}}}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{VirttimeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings: %v", findings)
+	}
+	s := findings[0].String()
+	if !strings.HasPrefix(s, "b.go:2:") || !strings.Contains(s, "[virttime]") {
+		t.Errorf("formatting: %q", s)
+	}
+}
+
+func TestAnalyzersComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"virttime", "lockpair", "traceguard", "heapwrite"} {
+		if !names[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package msvet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// hookMethods are the observer entry points (trace recorder and
+// sanitizer) that instrumented code calls. Observers are optional —
+// the field holding them is nil unless attached — so every call site
+// must sit under a nil guard. The two accepted shapes:
+//
+//	if s := h.san; s != nil { s.OnAccess(...) }     // enclosing guard
+//	san := h.san
+//	if san == nil { return }                        // early return
+//	... san.ReportWriteBarrier(...) ...
+//
+// Guarding keeps the detached cost at one pointer test and makes a
+// nil-dereference panic in instrumented hot paths impossible.
+var hookMethods = map[string]bool{
+	"Emit":               true,
+	"OnAccess":           true,
+	"OnOwnedAccess":      true,
+	"OnAcquire":          true,
+	"OnRelease":          true,
+	"ReportWriteBarrier": true,
+	"NoteBarrierScan":    true,
+}
+
+// traceguardSkip: the observer packages themselves call their own
+// methods on non-nil receivers, and msvet's tests construct calls
+// deliberately.
+var traceguardSkip = map[string]bool{
+	"internal/trace":    true,
+	"internal/sanitize": true,
+	"internal/msvet":    true,
+}
+
+// TraceguardAnalyzer verifies every trace/sanitize hook emission is
+// nil-guarded.
+var TraceguardAnalyzer = &Analyzer{
+	Name: "traceguard",
+	Doc:  "trace/sanitize hook calls must be nil-guarded",
+	Run: func(pass *Pass) error {
+		if traceguardSkip[pass.Path] {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				g := &guardWalker{pass: pass}
+				g.walkBlock(fd.Body.List, map[string]bool{})
+			}
+		}
+		return nil
+	},
+}
+
+type guardWalker struct {
+	pass *Pass
+}
+
+func cloneGuards(g map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(g))
+	for k := range g {
+		c[k] = true
+	}
+	return c
+}
+
+// walkBlock walks statements in order. guards is mutated in place when
+// an `if X == nil { return }` statement guards the remainder of the
+// block (and, transitively, nested literals).
+func (g *guardWalker) walkBlock(stmts []ast.Stmt, guards map[string]bool) {
+	for _, stmt := range stmts {
+		g.walkStmt(stmt, guards)
+	}
+}
+
+func (g *guardWalker) walkStmt(stmt ast.Stmt, guards map[string]bool) {
+	switch st := stmt.(type) {
+	case *ast.IfStmt:
+		g.walkIf(st, guards)
+	case *ast.BlockStmt:
+		g.walkBlock(st.List, cloneGuards(guards))
+	case *ast.ForStmt:
+		g.inspect(st.Init, guards)
+		g.inspectExpr(st.Cond, guards)
+		g.inspect(st.Post, guards)
+		g.walkBlock(st.Body.List, cloneGuards(guards))
+	case *ast.RangeStmt:
+		g.inspectExpr(st.X, guards)
+		g.walkBlock(st.Body.List, cloneGuards(guards))
+	case *ast.SwitchStmt:
+		g.inspect(st.Init, guards)
+		g.inspectExpr(st.Tag, guards)
+		g.walkClauses(st.Body, guards)
+	case *ast.TypeSwitchStmt:
+		g.inspect(st.Init, guards)
+		g.walkClauses(st.Body, guards)
+	case *ast.SelectStmt:
+		g.walkClauses(st.Body, guards)
+	case *ast.LabeledStmt:
+		g.walkStmt(st.Stmt, guards)
+	default:
+		g.inspect(stmt, guards)
+	}
+}
+
+func (g *guardWalker) walkClauses(body *ast.BlockStmt, guards map[string]bool) {
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				g.inspect(cc.Comm, guards)
+			}
+			stmts = cc.Body
+		}
+		g.walkBlock(stmts, cloneGuards(guards))
+	}
+}
+
+// walkIf adds nil-guard knowledge from the condition to the branch
+// scopes, and — for the early-return shape — to the rest of the
+// enclosing block via the caller-shared guards map.
+func (g *guardWalker) walkIf(st *ast.IfStmt, guards map[string]bool) {
+	if st.Init != nil {
+		g.inspect(st.Init, guards)
+	}
+	g.inspectExpr(st.Cond, guards)
+
+	thenGuards := cloneGuards(guards)
+	for _, e := range nonNilOperands(st.Cond) {
+		thenGuards[e] = true
+	}
+	g.walkBlock(st.Body.List, thenGuards)
+
+	if st.Else != nil {
+		elseGuards := cloneGuards(guards)
+		for _, e := range nilOperands(st.Cond) {
+			elseGuards[e] = true
+		}
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			g.walkBlock(e.List, elseGuards)
+		case *ast.IfStmt:
+			g.walkIf(e, elseGuards)
+		}
+	}
+
+	// if X == nil { return } guards X for the remainder of the block.
+	if blockTerminates(st.Body) {
+		for _, e := range nilOperands(st.Cond) {
+			guards[e] = true
+		}
+	}
+}
+
+// nonNilOperands returns the expressions cond proves non-nil when
+// true: `X != nil`, possibly conjoined with &&.
+func nonNilOperands(cond ast.Expr) []string {
+	var out []string
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		b, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case token.LAND:
+			visit(b.X)
+			visit(b.Y)
+		case token.NEQ:
+			if isNilIdent(b.Y) {
+				out = append(out, exprString(b.X))
+			} else if isNilIdent(b.X) {
+				out = append(out, exprString(b.Y))
+			}
+		}
+	}
+	visit(cond)
+	return out
+}
+
+// nilOperands returns the expressions cond proves nil when true:
+// `X == nil`, possibly disjoined with || (so the negation proves all
+// of them non-nil).
+func nilOperands(cond ast.Expr) []string {
+	var out []string
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		b, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case token.LOR:
+			visit(b.X)
+			visit(b.Y)
+		case token.EQL:
+			if isNilIdent(b.Y) {
+				out = append(out, exprString(b.X))
+			} else if isNilIdent(b.X) {
+				out = append(out, exprString(b.Y))
+			}
+		}
+	}
+	visit(cond)
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// blockTerminates reports whether the block's last statement leaves
+// the enclosing flow (return, panic, break/continue/goto).
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inspect scans a statement's expressions for hook calls, descending
+// into function literals with the current guard set (a literal defined
+// under a guard is assumed to run under it — the heap verifier's
+// helper-closure pattern).
+func (g *guardWalker) inspect(stmt ast.Stmt, guards map[string]bool) {
+	if stmt == nil {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.walkBlock(n.Body.List, cloneGuards(guards))
+			return false
+		case *ast.IfStmt:
+			g.walkIf(n, guards)
+			return false
+		case *ast.CallExpr:
+			g.checkCall(n, guards)
+		}
+		return true
+	})
+}
+
+func (g *guardWalker) inspectExpr(e ast.Expr, guards map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.walkBlock(n.Body.List, cloneGuards(guards))
+			return false
+		case *ast.CallExpr:
+			g.checkCall(n, guards)
+		}
+		return true
+	})
+}
+
+func (g *guardWalker) checkCall(call *ast.CallExpr, guards map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !hookMethods[sel.Sel.Name] {
+		return
+	}
+	// "Emit" is a generic name (the bytecode assembler has one too).
+	// Recorder emissions are distinguished by their first argument:
+	// always a trace.K* event-kind constant.
+	if sel.Sel.Name == "Emit" && !isTraceKindArg(call) {
+		return
+	}
+	recv := exprString(sel.X)
+	if guards[recv] {
+		return
+	}
+	g.pass.Reportf(call.Pos(),
+		"hook call %s.%s is not nil-guarded (wrap in `if %s != nil` or add an early `if %s == nil { return }`)",
+		recv, sel.Sel.Name, recv, recv)
+}
+
+// isTraceKindArg reports whether the call's first argument is a
+// trace.K* event-kind constant (possibly dot-imported as K*).
+func isTraceKindArg(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	switch a := call.Args[0].(type) {
+	case *ast.SelectorExpr:
+		return len(a.Sel.Name) > 1 && a.Sel.Name[0] == 'K' && a.Sel.Name[1] >= 'A' && a.Sel.Name[1] <= 'Z'
+	case *ast.Ident:
+		return len(a.Name) > 1 && a.Name[0] == 'K' && a.Name[1] >= 'A' && a.Name[1] <= 'Z'
+	}
+	return false
+}

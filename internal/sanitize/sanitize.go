@@ -1,0 +1,407 @@
+// Package sanitize is mscheck, the Table-3 invariant sanitizer: an
+// always-compilable, off-by-default checker layer that turns the
+// paper's concurrency discipline — every piece of shared VM state is
+// covered by exactly one of serialization, replication, or
+// reorganization — into executable checks.
+//
+// Three engines:
+//
+//   - The Eraser-style lockset checker validates the *serialization*
+//     rows: each shared structure (allocation pointer, entry table,
+//     ready queue, I/O queues, shared method cache, shared free lists)
+//     is registered with its guarding virtual spinlock, and every
+//     instrumented access is checked against the locks the accessing
+//     virtual processor currently holds. Acquisition order is tracked
+//     pairwise and potential deadlock cycles are reported.
+//   - The ownership checker validates the *replication* rows: a
+//     replicated structure (per-processor method cache, TLAB, free
+//     context list) may only ever be touched by the processor that
+//     owns it.
+//   - The write-barrier verifier (implemented in internal/heap, which
+//     owns the memory; violations are reported here) independently
+//     rescans old space after every scavenge and cross-checks old→new
+//     pointers against the entry table, catching any store that
+//     bypassed the store check.
+//
+// The determinism sentinel is the package's meta-invariant: a checker
+// is pure observation, so a sanitizer-on run must leave virtual time
+// and every counter bit-identical to a sanitizer-off run.
+// FingerprintDiff compares two counter snapshots deterministically;
+// the golden tests assert the full invariant.
+//
+// Like internal/trace, this package sits below every other layer (it
+// imports nothing from the repository) so that firefly, heap, interp,
+// and display can all feed one checker through nil-checked hook
+// points. A nil *Checker costs each hook site exactly one pointer
+// check. The checker itself never charges virtual time and never
+// touches the simulated heap.
+package sanitize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies one sanitizer violation.
+type Kind int
+
+const (
+	// KindUnlockedAccess: a serialized structure was accessed by a
+	// processor not holding its guarding lock.
+	KindUnlockedAccess Kind = iota
+	// KindUnknownStructure: an access hook fired for a structure that
+	// was never registered with a guard (a wiring bug).
+	KindUnknownStructure
+	// KindDoubleAcquire: a processor acquired a lock it already holds
+	// (the virtual spinlocks are not recursive).
+	KindDoubleAcquire
+	// KindReleaseNotHeld: a processor released a lock it does not hold.
+	KindReleaseNotHeld
+	// KindLockOrderCycle: the pairwise acquisition-order graph contains
+	// a cycle — a potential deadlock on real hardware.
+	KindLockOrderCycle
+	// KindForeignAccess: a replicated (per-processor) structure was
+	// accessed by a processor other than its owner.
+	KindForeignAccess
+	// KindWriteBarrier: the post-scavenge old-space scan found an
+	// old→new pointer that is not covered by the entry table (a store
+	// that bypassed the store check), or a dangling pointer into
+	// reclaimed new space left behind by such a store.
+	KindWriteBarrier
+)
+
+var kindNames = map[Kind]string{
+	KindUnlockedAccess:   "unlocked-access",
+	KindUnknownStructure: "unknown-structure",
+	KindDoubleAcquire:    "double-acquire",
+	KindReleaseNotHeld:   "release-not-held",
+	KindLockOrderCycle:   "lock-order-cycle",
+	KindForeignAccess:    "foreign-access",
+	KindWriteBarrier:     "write-barrier",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Violation is one detected invariant breach. At is virtual ticks on
+// the offending processor's clock when the hook fired.
+type Violation struct {
+	Kind      Kind
+	Proc      int
+	At        int64
+	Structure string // structure or lock the violation concerns
+	Lock      string // guarding lock, when applicable
+	Detail    string
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mscheck %s: proc %d at %d", v.Kind, v.Proc, v.At)
+	if v.Structure != "" {
+		fmt.Fprintf(&b, " structure %q", v.Structure)
+	}
+	if v.Lock != "" {
+		fmt.Fprintf(&b, " lock %q", v.Lock)
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(&b, ": %s", v.Detail)
+	}
+	return b.String()
+}
+
+// orderEdge is one first-witnessed "acquired b while holding a".
+type orderEdge struct{ a, b string }
+
+type orderWitness struct {
+	proc int
+	at   int64
+}
+
+// Checker is the mscheck run-time state. It is not synchronized: the
+// simulator's baton protocol guarantees a single writer at a time
+// (exactly like trace.Recorder), and readers run while the machine is
+// parked.
+type Checker struct {
+	locks      map[string]bool   // lock name → enabled
+	guards     map[string]string // structure → guarding lock name
+	replicated map[string]bool   // replicated structure names seen
+
+	held [][]string // per-proc ordered list of held lock names
+
+	edges map[orderEdge]orderWitness
+
+	violations []Violation
+
+	lockEvents   uint64 // acquire/release hooks validated
+	accessChecks uint64 // structure accesses validated
+	barrierScans uint64 // post-scavenge write-barrier verifications
+	barrierWords uint64 // old-space words scanned by the verifier
+}
+
+// New creates an empty checker. Attach it to a machine before the
+// system boots so every lock and structure registers itself.
+func New() *Checker {
+	return &Checker{
+		locks:      map[string]bool{},
+		guards:     map[string]string{},
+		replicated: map[string]bool{},
+		edges:      map[orderEdge]orderWitness{},
+	}
+}
+
+// RegisterLock records a virtual spinlock. A disabled lock (baseline
+// BS mode, multiprocessor support compiled out) exempts every
+// structure it guards: the accesses are single-threaded by
+// construction, so the lockset rule does not apply.
+func (c *Checker) RegisterLock(name string, enabled bool) {
+	c.locks[name] = enabled
+}
+
+// RegisterGuard declares that the named shared structure is protected
+// by the named lock (a Table-3 serialization row).
+func (c *Checker) RegisterGuard(structure, lock string) {
+	c.guards[structure] = lock
+}
+
+// procHeld returns the held-lock list for proc, growing the table.
+func (c *Checker) procHeld(proc int) *[]string {
+	for proc >= len(c.held) {
+		c.held = append(c.held, nil)
+	}
+	return &c.held[proc]
+}
+
+func (c *Checker) report(v Violation) { c.violations = append(c.violations, v) }
+
+// OnAcquire records that proc now holds lock, validating against
+// double acquisition and recording pairwise acquisition order.
+func (c *Checker) OnAcquire(proc int, at int64, lock string) {
+	c.lockEvents++
+	held := c.procHeld(proc)
+	for _, h := range *held {
+		if h == lock {
+			c.report(Violation{Kind: KindDoubleAcquire, Proc: proc, At: at, Lock: lock,
+				Detail: "lock acquired while already held by this processor"})
+			return
+		}
+	}
+	for _, h := range *held {
+		e := orderEdge{a: h, b: lock}
+		if _, ok := c.edges[e]; !ok {
+			c.edges[e] = orderWitness{proc: proc, at: at}
+		}
+	}
+	*held = append(*held, lock)
+}
+
+// OnRelease records that proc dropped lock.
+func (c *Checker) OnRelease(proc int, at int64, lock string) {
+	c.lockEvents++
+	held := c.procHeld(proc)
+	for i, h := range *held {
+		if h == lock {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+	c.report(Violation{Kind: KindReleaseNotHeld, Proc: proc, At: at, Lock: lock,
+		Detail: "lock released by a processor that does not hold it"})
+}
+
+// OnAccess validates an access to a registered serialized structure:
+// the accessing processor must hold the structure's guard, unless the
+// guard is a disabled (baseline) lock.
+func (c *Checker) OnAccess(proc int, at int64, structure string) {
+	c.accessChecks++
+	lock, ok := c.guards[structure]
+	if !ok {
+		c.report(Violation{Kind: KindUnknownStructure, Proc: proc, At: at, Structure: structure,
+			Detail: "access to a structure with no registered guard"})
+		return
+	}
+	if enabled, known := c.locks[lock]; known && !enabled {
+		return // baseline mode: lock compiled out, access is single-threaded
+	}
+	for _, h := range *c.procHeld(proc) {
+		if h == lock {
+			return
+		}
+	}
+	c.report(Violation{Kind: KindUnlockedAccess, Proc: proc, At: at,
+		Structure: structure, Lock: lock,
+		Detail: "serialized structure accessed without its guard"})
+}
+
+// OnOwnedAccess validates an access to a replicated (per-processor)
+// structure: only the owning processor may touch it.
+func (c *Checker) OnOwnedAccess(proc, owner int, at int64, structure string) {
+	c.accessChecks++
+	c.replicated[structure] = true
+	if proc != owner {
+		c.report(Violation{Kind: KindForeignAccess, Proc: proc, At: at, Structure: structure,
+			Detail: fmt.Sprintf("replicated structure owned by processor %d", owner)})
+	}
+}
+
+// ReportWriteBarrier records one write-barrier verifier finding (the
+// scan itself lives in internal/heap, which owns the memory).
+func (c *Checker) ReportWriteBarrier(proc int, at int64, detail string) {
+	c.report(Violation{Kind: KindWriteBarrier, Proc: proc, At: at,
+		Structure: "remembered-set", Detail: detail})
+}
+
+// NoteBarrierScan accounts one verifier pass over words of old space.
+func (c *Checker) NoteBarrierScan(words uint64) {
+	c.barrierScans++
+	c.barrierWords += words
+}
+
+// Violations returns every event-ordered violation recorded so far
+// (deterministic: the simulation is deterministic and the checker is
+// fed from its single-threaded hook points).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// LockOrderCycles detects cycles in the pairwise acquisition-order
+// graph and returns each one once, as a canonical "a -> b -> a"
+// string, in sorted order. The result is deterministic for a given
+// set of edges regardless of map iteration order.
+func (c *Checker) LockOrderCycles() []string {
+	// Adjacency with sorted neighbor lists for deterministic DFS.
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for e := range c.edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		nodes[e.a], nodes[e.b] = true, true
+	}
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sort.Strings(adj[n])
+	}
+
+	seen := map[string]bool{} // canonical cycle strings
+	var cycles []string
+	var stack []string
+	onStack := map[string]int{} // name → index in stack
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		if idx, ok := onStack[n]; ok {
+			cyc := append([]string(nil), stack[idx:]...)
+			canon := canonicalCycle(cyc)
+			if !seen[canon] {
+				seen[canon] = true
+				cycles = append(cycles, canon)
+			}
+			return
+		}
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			dfs(m)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+	}
+	for _, n := range names {
+		dfs(n)
+	}
+	sort.Strings(cycles)
+	return cycles
+}
+
+// canonicalCycle rotates a cycle so its lexically smallest lock comes
+// first and renders it "a -> b -> a".
+func canonicalCycle(cyc []string) string {
+	min := 0
+	for i := range cyc {
+		if cyc[i] < cyc[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), cyc[min:]...), cyc[:min]...)
+	rot = append(rot, rot[0])
+	return strings.Join(rot, " -> ")
+}
+
+// Clean reports whether the run finished with no violations and no
+// lock-order cycles.
+func (c *Checker) Clean() bool {
+	return len(c.violations) == 0 && len(c.LockOrderCycles()) == 0
+}
+
+// Stats summarizes how much checking a run performed; reports print
+// it so a "clean" result is distinguishable from "nothing checked".
+type Stats struct {
+	Locks        int
+	Guards       int
+	Replicated   int
+	LockEvents   uint64
+	AccessChecks uint64
+	BarrierScans uint64
+	BarrierWords uint64
+	Violations   int
+	OrderCycles  int
+}
+
+// Stats returns the checker's work counters.
+func (c *Checker) Stats() Stats {
+	return Stats{
+		Locks:        len(c.locks),
+		Guards:       len(c.guards),
+		Replicated:   len(c.replicated),
+		LockEvents:   c.lockEvents,
+		AccessChecks: c.accessChecks,
+		BarrierScans: c.barrierScans,
+		BarrierWords: c.barrierWords,
+		Violations:   len(c.violations),
+		OrderCycles:  len(c.LockOrderCycles()),
+	}
+}
+
+// Report renders a deterministic human-readable summary: registered
+// locks and guards, work counters, then every violation and cycle.
+func (c *Checker) Report() string {
+	var b strings.Builder
+	st := c.Stats()
+	fmt.Fprintf(&b, "mscheck: %d locks, %d serialized structures, %d replicated structures\n",
+		st.Locks, st.Guards, st.Replicated)
+	fmt.Fprintf(&b, "mscheck: %d lock events, %d access checks, %d barrier scans (%d words)\n",
+		st.LockEvents, st.AccessChecks, st.BarrierScans, st.BarrierWords)
+
+	var guards []string
+	for s, l := range c.guards {
+		enabled := ""
+		if on, known := c.locks[l]; known && !on {
+			enabled = " (disabled: baseline)"
+		}
+		guards = append(guards, fmt.Sprintf("  %s guarded by %s%s", s, l, enabled))
+	}
+	sort.Strings(guards)
+	for _, g := range guards {
+		b.WriteString(g + "\n")
+	}
+
+	cycles := c.LockOrderCycles()
+	if len(c.violations) == 0 && len(cycles) == 0 {
+		b.WriteString("mscheck: clean (0 violations)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "mscheck: %d violations, %d lock-order cycles\n",
+		len(c.violations), len(cycles))
+	for _, v := range c.violations {
+		b.WriteString("  " + v.String() + "\n")
+	}
+	for _, cyc := range cycles {
+		fmt.Fprintf(&b, "  mscheck lock-order-cycle: %s\n", cyc)
+	}
+	return b.String()
+}

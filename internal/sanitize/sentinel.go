@@ -1,0 +1,38 @@
+package sanitize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FingerprintDiff is the determinism sentinel's comparison primitive:
+// given two named-counter snapshots (virtual times, interpreter and
+// heap counters) from a sanitizer-off and a sanitizer-on run, it
+// returns one line per divergent or missing counter, sorted by name.
+// An empty result means the runs are bit-identical — the checker was
+// pure observation. The golden tests build the fingerprints from
+// core.Stats and the per-benchmark virtual times.
+func FingerprintDiff(off, on map[string]int64) []string {
+	names := map[string]bool{}
+	for k := range off {
+		names[k] = true
+	}
+	for k := range on {
+		names[k] = true
+	}
+	var diffs []string
+	for k := range names {
+		a, aok := off[k]
+		b, bok := on[k]
+		switch {
+		case !aok:
+			diffs = append(diffs, fmt.Sprintf("%s: missing in sanitizer-off run (on=%d)", k, b))
+		case !bok:
+			diffs = append(diffs, fmt.Sprintf("%s: missing in sanitizer-on run (off=%d)", k, a))
+		case a != b:
+			diffs = append(diffs, fmt.Sprintf("%s: off=%d on=%d", k, a, b))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
