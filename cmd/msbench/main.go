@@ -17,6 +17,17 @@
 //	msbench -sanitize          run every state plain and under the mscheck
 //	                           invariant sanitizer; report violations,
 //	                           bit-identity, and host-side checker cost
+//	msbench -parallel          true-parallel host sweep: the same fixed
+//	                           workload on 1..GOMAXPROCS real goroutine
+//	                           processors, wall-clock speedup vs the
+//	                           deterministic driver
+//	msbench -gate BENCH.json   regression gate: rerun the suite and
+//	                           compare against a checked-in baseline
+//	                           (exact on virtual times and counters,
+//	                           -gate-tolerance on relative host cost)
+//	msbench -fingerprint       print the deterministic fingerprint (the
+//	                           json report with host times zeroed); CI
+//	                           runs it twice and diffs the outputs
 //	msbench -all               everything above
 //
 // All times are virtual milliseconds on the simulated Firefly; runs are
@@ -44,10 +55,14 @@ func main() {
 	tracePath := flag.String("trace", "", "flight-record a busy benchmark and write Perfetto JSON to this file")
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile of a busy benchmark")
 	sanFlag := flag.Bool("sanitize", false, "run every state under the mscheck invariant sanitizer and report overhead")
+	parallel := flag.Bool("parallel", false, "run the true-parallel host sweep (goroutine processors, wall-clock speedup)")
+	gatePath := flag.String("gate", "", "compare a fresh run against this baseline json and fail on regression")
+	gateTol := flag.Float64("gate-tolerance", 0.20, "allowed drift in normalized host cost for -gate (fraction)")
+	fingerprint := flag.Bool("fingerprint", false, "print the deterministic fingerprint (json report, host times zeroed)")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*sanFlag && !*all {
+	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*sanFlag && !*parallel && *gatePath == "" && !*fingerprint && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -148,17 +163,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonPath != "" {
+	var par *bench.ParallelReport
+	if *parallel || *all {
+		fmt.Fprintln(os.Stderr, "running parallel host sweep (goroutine processors)...")
+		var err error
+		par, err = bench.RunParallelSweep()
+		check(err)
+		fmt.Println(bench.FormatParallel(par))
+	}
+
+	// -json, -gate, and -fingerprint all need the same fresh report;
+	// measure once and reuse it.
+	var report *bench.JSONReport
+	if *jsonPath != "" || *gatePath != "" || *fingerprint {
 		// Open the output first: fail on a bad path before spending
 		// time measuring.
-		f, err := os.Create(*jsonPath)
-		check(err)
+		var f *os.File
+		if *jsonPath != "" {
+			var err error
+			f, err = os.Create(*jsonPath)
+			check(err)
+		}
 		fmt.Fprintln(os.Stderr, "running json report...")
-		r, err := bench.RunJSONReport()
+		var err error
+		report, err = bench.RunJSONReport()
 		check(err)
-		check(r.Write(f))
-		check(f.Close())
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		report.Parallel = par
+		if f != nil {
+			check(report.Write(f))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+	}
+	if *fingerprint {
+		check(bench.Fingerprint(report, os.Stdout))
+	}
+	if *gatePath != "" {
+		baseline, err := bench.LoadBaseline(*gatePath)
+		check(err)
+		g := bench.RunGate(baseline, report, *gatePath, *gateTol)
+		fmt.Print(g.Format())
+		if !g.OK() {
+			os.Exit(1)
+		}
 	}
 }
 

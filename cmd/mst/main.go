@@ -12,6 +12,10 @@
 //	mst -sanitize -e "..."           run under the mscheck invariant
 //	                                 sanitizer; print its report, exit 1
 //	                                 on any violation
+//	mst -parallel -procs 4 -e "..."  true-parallel host mode: the four
+//	                                 virtual processors run on real
+//	                                 goroutines (results match, virtual
+//	                                 times become schedule-dependent)
 //	echo "Smalltalk allClasses size" | mst
 package main
 
@@ -37,6 +41,7 @@ func main() {
 	tracePath := flag.String("trace", "", "flight-record the run and write Perfetto trace JSON to this file")
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile after evaluation")
 	sanFlag := flag.Bool("sanitize", false, "attach the mscheck invariant sanitizer; report violations and exit non-zero on any")
+	parallel := flag.Bool("parallel", false, "true-parallel host mode: run virtual processors on real goroutines (wall-clock scheduling; virtual times become host-schedule-dependent)")
 	flag.Parse()
 
 	cfg := mst.DefaultConfig()
@@ -64,6 +69,7 @@ func main() {
 	}
 	cfg.Profile = *profile
 	cfg.Sanitize = *sanFlag
+	cfg.Parallel = *parallel
 	sys, err := mst.NewSystem(cfg)
 	check(err)
 	defer sys.Shutdown()

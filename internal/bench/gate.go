@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mst/internal/trace"
+)
+
+// The benchmark-regression gate (msbench -gate): compare a fresh run
+// against a checked-in baseline report (BENCH_prN.json). The simulator
+// is deterministic, so virtual times and every interpreter/heap counter
+// must match the baseline EXACTLY — any drift is either a real change
+// (update the baseline deliberately, in the same commit) or a bug.
+//
+// Host-side wall time is the one machine-dependent number in the
+// report, so it cannot be compared directly: CI machines and laptops
+// differ by integer factors. Instead the gate compares each state's
+// *relative* host cost — host ns per virtual ms, summed over the
+// state's benchmarks and normalized by the run-wide median of that
+// ratio. A uniformly slower machine scales every ratio equally and
+// passes; a change that makes one state's host-side execution
+// disproportionately slower moves its normalized ratio and fails. The
+// comparison is per state, not per benchmark: individual benchmarks
+// run for a few host milliseconds, where scheduler noise on a small CI
+// machine routinely exceeds any sensible tolerance. The tolerance
+// (default 0.20) bounds how far a normalized ratio may drift from the
+// baseline's.
+
+// GateFinding is one detected regression or mismatch.
+type GateFinding struct {
+	Where  string `json:"where"`
+	Detail string `json:"detail"`
+}
+
+// GateReport is the outcome of one gate comparison.
+type GateReport struct {
+	BaselinePath string        `json:"baseline"`
+	Tolerance    float64       `json:"tolerance"`
+	Exact        int           `json:"exact_checks"`
+	Host         int           `json:"host_checks"`
+	SkippedHost  int           `json:"host_checks_skipped"`
+	Findings     []GateFinding `json:"findings"`
+}
+
+// OK reports whether the fresh run passed the gate.
+func (g *GateReport) OK() bool { return len(g.Findings) == 0 }
+
+func (g *GateReport) fail(where, format string, args ...any) {
+	g.Findings = append(g.Findings, GateFinding{Where: where, Detail: fmt.Sprintf(format, args...)})
+}
+
+// exactly compares one deterministic quantity.
+func gateExact[T comparable](g *GateReport, where, what string, base, fresh T) {
+	g.Exact++
+	if base != fresh {
+		g.fail(where, "%s: baseline %v, got %v", what, base, fresh)
+	}
+}
+
+// LoadBaseline reads a checked-in msbench JSON report.
+func LoadBaseline(path string) (*JSONReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: gate baseline: %w", err)
+	}
+	defer f.Close()
+	var r JSONReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: gate baseline %s: %w", path, err)
+	}
+	if len(r.Table2) == 0 {
+		return nil, fmt.Errorf("bench: gate baseline %s: no table2 states", path)
+	}
+	return &r, nil
+}
+
+// hostRatios returns each state's host-ns-per-virtual-ms (summed over
+// its benchmarks) normalized by the run-wide median, keyed by state
+// name. States too short to time reliably are omitted.
+func hostRatios(r *JSONReport) map[string]float64 {
+	raw := map[string]float64{}
+	var all []float64
+	for _, st := range r.Table2 {
+		var hostNS, virtMS int64
+		for _, b := range st.Benches {
+			hostNS += b.HostNS
+			virtMS += b.VirtualMS
+		}
+		if virtMS < 5 || hostNS <= 0 {
+			continue
+		}
+		v := float64(hostNS) / float64(virtMS)
+		raw[st.State] = v
+		all = append(all, v)
+	}
+	if len(all) == 0 {
+		return raw
+	}
+	sort.Float64s(all)
+	med := all[len(all)/2]
+	if med <= 0 {
+		return map[string]float64{}
+	}
+	for k, v := range raw {
+		raw[k] = v / med
+	}
+	return raw
+}
+
+// RunGate compares a fresh report against the baseline. Deterministic
+// quantities (virtual times, interpreter and heap counters, inline-cache
+// ablation) must be bit-equal; normalized host-time ratios may drift by
+// at most tol.
+func RunGate(baseline, fresh *JSONReport, baselinePath string, tol float64) *GateReport {
+	g := &GateReport{BaselinePath: baselinePath, Tolerance: tol}
+
+	gateExact(g, "schema", "schemaVersion", baseline.SchemaVersion, fresh.SchemaVersion)
+
+	freshStates := map[string]*JSONState{}
+	for i := range fresh.Table2 {
+		freshStates[fresh.Table2[i].State] = &fresh.Table2[i]
+	}
+	for i := range baseline.Table2 {
+		bs := &baseline.Table2[i]
+		fs, ok := freshStates[bs.State]
+		if !ok {
+			g.fail(bs.State, "state missing from fresh run")
+			continue
+		}
+		freshBenches := map[string]JSONBench{}
+		for _, b := range fs.Benches {
+			freshBenches[b.Name] = b
+		}
+		for _, bb := range bs.Benches {
+			where := bs.State + "/" + bb.Name
+			fb, ok := freshBenches[bb.Name]
+			if !ok {
+				g.fail(where, "benchmark missing from fresh run")
+				continue
+			}
+			gateExact(g, where, "virtual_ms", bb.VirtualMS, fb.VirtualMS)
+		}
+		gateMetrics(g, bs.State, &bs.Metrics, &fs.Metrics)
+	}
+
+	// Inline-cache ablation rows, keyed by (state, policy).
+	freshIC := map[string]*JSONICRow{}
+	for i := range fresh.InlineCache {
+		r := &fresh.InlineCache[i]
+		freshIC[r.State+"/"+r.Policy] = r
+	}
+	for i := range baseline.InlineCache {
+		br := &baseline.InlineCache[i]
+		where := "ic/" + br.State + "/" + br.Policy
+		fr, ok := freshIC[where[3:]]
+		if !ok {
+			g.fail(where, "ablation row missing from fresh run")
+			continue
+		}
+		gateExact(g, where, "virtual_ms rows", fmt.Sprint(br.Benches), fmt.Sprint(fr.Benches))
+		gateExact(g, where, "ic_fills", br.ICFills, fr.ICFills)
+		gateExact(g, where, "ic_poly_sites", br.ICPolySites, fr.ICPolySites)
+		gateExact(g, where, "ic_mega_sites", br.ICMegaSites, fr.ICMegaSites)
+	}
+
+	// Host-time drift, on normalized ratios.
+	baseRatio, freshRatio := hostRatios(baseline), hostRatios(fresh)
+	keys := make([]string, 0, len(baseRatio))
+	for k := range baseRatio {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		br := baseRatio[k]
+		fr, ok := freshRatio[k]
+		if !ok || br <= 0 {
+			g.SkippedHost++
+			continue
+		}
+		g.Host++
+		if drift := fr/br - 1; drift > tol {
+			g.fail(k, "normalized host cost +%.0f%% over baseline (ratio %.2f -> %.2f, tolerance %.0f%%)",
+				100*drift, br, fr, 100*tol)
+		}
+	}
+	return g
+}
+
+// gateMetrics compares the deterministic counters of one state's
+// metrics block. Everything in the registry is virtual-time-derived and
+// schedule-deterministic, so the comparison is exact.
+func gateMetrics(g *GateReport, state string, base, fresh *trace.Metrics) {
+	w := state + "/metrics"
+	gateExact(g, w, "machine.switches", base.Machine.Switches, fresh.Machine.Switches)
+	gateExact(g, w, "machine.virtual_time_ticks", base.Machine.VirtualTimeTicks, fresh.Machine.VirtualTimeTicks)
+	gateExact(g, w, "interp.bytecodes", base.Interp.Bytecodes, fresh.Interp.Bytecodes)
+	gateExact(g, w, "interp.sends", base.Interp.Sends, fresh.Interp.Sends)
+	gateExact(g, w, "interp.cache_hits", base.Interp.CacheHits, fresh.Interp.CacheHits)
+	gateExact(g, w, "interp.cache_misses", base.Interp.CacheMisses, fresh.Interp.CacheMisses)
+	gateExact(g, w, "interp.ic_hits", base.Interp.ICHits, fresh.Interp.ICHits)
+	gateExact(g, w, "interp.ic_misses", base.Interp.ICMisses, fresh.Interp.ICMisses)
+	gateExact(g, w, "interp.dict_probes", base.Interp.DictProbes, fresh.Interp.DictProbes)
+	gateExact(g, w, "interp.primitives", base.Interp.Primitives, fresh.Interp.Primitives)
+	gateExact(g, w, "interp.process_switches", base.Interp.ProcessSwitches, fresh.Interp.ProcessSwitches)
+	gateExact(g, w, "heap.allocations", base.Heap.Allocations, fresh.Heap.Allocations)
+	gateExact(g, w, "heap.allocated_words", base.Heap.AllocatedWords, fresh.Heap.AllocatedWords)
+	gateExact(g, w, "heap.scavenges", base.Heap.Scavenges, fresh.Heap.Scavenges)
+	gateExact(g, w, "heap.store_checks", base.Heap.StoreChecks, fresh.Heap.StoreChecks)
+}
+
+// Format renders the gate verdict for terminal output.
+func (g *GateReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench gate vs %s (tolerance %.0f%%)\n", g.BaselinePath, 100*g.Tolerance)
+	fmt.Fprintf(&b, "  %d exact checks, %d host-ratio checks (%d skipped under noise floor)\n",
+		g.Exact, g.Host, g.SkippedHost)
+	if g.OK() {
+		b.WriteString("  PASS\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  FAIL: %d finding(s)\n", len(g.Findings))
+	for _, f := range g.Findings {
+		fmt.Fprintf(&b, "    %-40s %s\n", f.Where, f.Detail)
+	}
+	return b.String()
+}
+
+// Fingerprint writes the report with every host-time field zeroed —
+// the deterministic residue. The CI determinism job runs the suite
+// twice and diffs the two fingerprints byte-for-byte; any difference
+// means the simulator leaked host state into virtual results.
+func Fingerprint(r *JSONReport, w io.Writer) error {
+	cp := *r
+	cp.Table2 = make([]JSONState, len(r.Table2))
+	for i, st := range r.Table2 {
+		cp.Table2[i] = st
+		cp.Table2[i].Benches = make([]JSONBench, len(st.Benches))
+		for j, b := range st.Benches {
+			b.HostNS = 0
+			cp.Table2[i].Benches[j] = b
+		}
+	}
+	if r.Sanitize != nil {
+		san := *r.Sanitize
+		san.Rows = make([]SanitizeRow, len(r.Sanitize.Rows))
+		for i, row := range r.Sanitize.Rows {
+			row.HostPlainNS, row.HostCheckNS, row.OverheadPct = 0, 0, 0
+			san.Rows[i] = row
+		}
+		cp.Sanitize = &san
+	}
+	cp.Parallel = nil // wall-clock by definition
+	return cp.Write(w)
+}

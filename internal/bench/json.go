@@ -56,6 +56,10 @@ type JSONReport struct {
 	// absence): the mscheck verdict and host-side checker overhead per
 	// state.
 	Sanitize *SanitizeReport `json:"sanitize,omitempty"`
+	// Parallel is additive too: the -parallel host sweep, present only
+	// when it was requested (its wall-clock numbers are machine-bound,
+	// so it never participates in the gate or the fingerprint).
+	Parallel *ParallelReport `json:"parallel,omitempty"`
 }
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall

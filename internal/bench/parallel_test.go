@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"mst/internal/core"
+)
+
+// checksumSource is a pure computation whose answer is independent of
+// scheduling: the parallel host mode must produce the same value the
+// deterministic mode does, whatever interleaving the host picked.
+const checksumSource = `| s | s := 0. 1 to: 50000 do: [:i | s := (s + (i * 3)) \\ 1000003]. s`
+
+// TestParallelCrossCheck runs the standard states in parallel host mode
+// across processor counts and cross-checks the workload's invariants
+// against a deterministic run of the same configuration: the computed
+// value matches exactly; for states whose background Processes send no
+// messages the total send count matches exactly too (only the eval
+// Process sends); the heap passes its structural walk; and no VM errors
+// accumulate. Virtual times are NOT compared — parallel clocks are
+// host-schedule-dependent by design.
+//
+// The scheduler has no same-priority time slicing (a running Process
+// keeps its processor), so states with N background Processes need at
+// least N+1 processors for the evaluation to run at all; the matrix
+// respects that.
+func TestParallelCrossCheck(t *testing.T) {
+	type combo struct {
+		state State
+		procs int
+	}
+	var combos []combo
+	for _, st := range StandardStates() {
+		switch st.Name {
+		case "baseline":
+			combos = append(combos, combo{st, 1})
+		case "ms":
+			combos = append(combos, combo{st, 2}, combo{st, 4})
+		default: // four background Processes: need all five processors
+			combos = append(combos, combo{st, 5})
+		}
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(fmt.Sprintf("%s-procs%d", c.state.Name, c.procs), func(t *testing.T) {
+			run := func(parallel bool) (val int64, sends uint64, scavenges uint64) {
+				st := c.state
+				base := st.Config
+				st.Config = func() core.Config {
+					cfg := base()
+					cfg.Processors = c.procs
+					cfg.Parallel = parallel
+					return cfg
+				}
+				sys, err := NewBenchSystem(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				if _, err := RunMacro(sys, "decompileClass"); err != nil {
+					t.Fatal(err)
+				}
+				val, err = sys.EvaluateInt(checksumSource)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The heap must be structurally sound after the run
+				// (CheckInvariants panics on corruption).
+				sys.VM.H.CheckInvariants()
+				if errs := sys.VM.Errors(); len(errs) != 0 {
+					t.Fatalf("parallel=%v: VM errors: %v", parallel, errs)
+				}
+				st2 := sys.Stats()
+				return val, st2.Interp.Sends, st2.Heap.Scavenges
+			}
+			detVal, detSends, _ := run(false)
+			parVal, parSends, parScav := run(true)
+			if parVal != detVal {
+				t.Errorf("checksum diverged: deterministic %d, parallel %d", detVal, parVal)
+			}
+			if c.state.Name != "ms-busy" && parSends != detSends {
+				// Busy workers send for as long as the host lets them
+				// run; every other state's sends come only from the
+				// eval Process and are schedule-independent.
+				t.Errorf("sends diverged: deterministic %d, parallel %d", detSends, parSends)
+			}
+			if c.state.Name == "ms-busy" && parScav == 0 {
+				t.Error("ms-busy parallel run never scavenged; the stop-the-world path went unexercised")
+			}
+		})
+	}
+}

@@ -78,6 +78,14 @@ type Config struct {
 	// a sanitized run is bit-identical to an unsanitized one.
 	Sanitize bool
 
+	// Parallel runs the virtual processors on real goroutines after a
+	// deterministic boot: virtual spinlocks become CAS test-and-set
+	// words, scavenges stop the world via a safepoint rendezvous, and
+	// the flight recorder (if any) shards per processor. Virtual
+	// clocks are then host-schedule-dependent — determinism and the
+	// golden numbers hold only with Parallel off (the default).
+	Parallel bool
+
 	// ExtraSources are additional chunk-format sources filed in after
 	// the kernel (applications, benchmarks).
 	ExtraSources []string
@@ -174,6 +182,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Mode == ModeBaseline && cfg.Processors != 1 {
 		return nil, fmt.Errorf("core: baseline BS is single-threaded; use one processor")
 	}
+	if cfg.Parallel && cfg.Profile {
+		// The profiler's name caches are unsynchronized host maps keyed
+		// by oops; profile deterministic runs instead.
+		return nil, fmt.Errorf("core: -profile requires the deterministic mode (drop -parallel)")
+	}
 	hcfg := heap.Config{
 		OldWords:      cfg.OldWords,
 		EdenWords:     cfg.EdenWords,
@@ -185,6 +198,7 @@ func NewSystem(cfg Config) (*System, error) {
 		hcfg = heap.DefaultConfig()
 		hcfg.Policy = cfg.Alloc
 	}
+	hcfg.Parallel = cfg.Parallel
 	vcfg := interp.Config{
 		MSMode:           cfg.Mode == ModeMS,
 		MethodCache:      cfg.MethodCache,
@@ -193,14 +207,21 @@ func NewSystem(cfg Config) (*System, error) {
 		FreeContexts:     cfg.FreeContexts,
 		QuantumBytecodes: cfg.QuantumBytecodes,
 		PanicOnVMError:   true,
+		Parallel:         cfg.Parallel,
 	}
 	m := firefly.New(cfg.Processors, firefly.DefaultCosts())
 	if cfg.TimeLimit > 0 {
 		m.SetTimeLimit(cfg.TimeLimit)
 	}
 	if cfg.TraceEvents > 0 {
-		// Attach before boot so every layer caches the recorder.
-		m.SetRecorder(trace.NewRecorder(cfg.TraceEvents))
+		// Attach before boot so every layer caches the recorder. In
+		// parallel mode each processor gets a private ring, merged by
+		// virtual time at export.
+		if cfg.Parallel {
+			m.SetRecorder(trace.NewShardedRecorder(cfg.TraceEvents, cfg.Processors))
+		} else {
+			m.SetRecorder(trace.NewRecorder(cfg.TraceEvents))
+		}
 	}
 	if cfg.Sanitize {
 		// Likewise before boot: heap and VM cache the checker and
@@ -214,6 +235,11 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Profile {
 		vm.EnableProfiler()
+	}
+	if cfg.Parallel {
+		// Boot (image construction) ran deterministically; from here on
+		// the processors run on real goroutines.
+		m.SetParallel(true)
 	}
 	return &System{Cfg: cfg, VM: vm}, nil
 }

@@ -2,6 +2,7 @@ package firefly
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mst/internal/trace"
 )
@@ -30,23 +31,34 @@ import (
 //
 // A disabled lock (baseline-BS mode, with multiprocessor support
 // compiled out) costs nothing and keeps no state.
+// In parallel host mode the virtual-time reservation no longer works
+// (there is no global ordering of clocks to reserve against), so the
+// lock becomes what it models: an interlocked test-and-set word
+// (state; 0 free, holder id + 1 otherwise) acquired with CAS and
+// host-level exponential backoff. The same cost model still charges
+// the test-and-set and each spin retry to the acquirer's own virtual
+// clock, so contention remains visible in the virtual statistics.
 type Spinlock struct {
 	name    string
 	enabled bool
+	m       *Machine
 	held    bool
 	holder  int
 	freeAt  Time // virtual time of the most recent release
 
-	acquisitions uint64
-	contentions  uint64
-	spinTime     Time
+	// state is the parallel-mode lock word: 0 free, holder id + 1.
+	state atomic.Int32
+
+	acquisitions atomic.Uint64
+	contentions  atomic.Uint64
+	spinTime     atomic.Int64 // ticks
 }
 
 // NewSpinlock registers a named spinlock with the machine (for
 // statistics) and returns it. When enabled is false the lock is a free
 // no-op, modelling the baseline system.
 func (m *Machine) NewSpinlock(name string, enabled bool) *Spinlock {
-	l := &Spinlock{name: name, enabled: enabled}
+	l := &Spinlock{name: name, enabled: enabled, m: m}
 	m.locks = append(m.locks, l)
 	if s := m.san; s != nil {
 		s.RegisterLock(name, enabled)
@@ -60,6 +72,10 @@ func (l *Spinlock) Acquire(p *Proc) {
 	if !l.enabled {
 		return
 	}
+	if l.m.parallel {
+		l.acquirePar(p)
+		return
+	}
 	c := p.m.costs
 	p.Advance(c.LockTAS)
 	if l.held {
@@ -69,7 +85,7 @@ func (l *Spinlock) Acquire(p *Proc) {
 	if p.clock < l.freeAt {
 		// The lock is held during [p.clock, freeAt) by a processor
 		// ahead in virtual time: spin in test-and-set + Delay rounds.
-		l.contentions++
+		l.contentions.Add(1)
 		wait := l.freeAt - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
 		spin := rounds * c.LockSpinRetry
@@ -77,11 +93,52 @@ func (l *Spinlock) Acquire(p *Proc) {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, l.name)
 		}
 		p.AdvanceSpin(spin)
-		l.spinTime += spin
+		l.spinTime.Add(int64(spin))
 	}
 	l.held = true
 	l.holder = p.id
-	l.acquisitions++
+	l.acquisitions.Add(1)
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
+	}
+	if s := p.m.san; s != nil {
+		s.OnAcquire(p.id, int64(p.clock), l.name)
+	}
+}
+
+// acquirePar is the parallel-host-mode Acquire: a real CAS loop with
+// exponential host backoff. Virtual time is charged exactly as the
+// model prescribes — one test-and-set, then one LockSpinRetry round
+// per failed retry.
+func (l *Spinlock) acquirePar(p *Proc) {
+	c := p.m.costs
+	p.Advance(c.LockTAS)
+	me := int32(p.id) + 1
+	if l.state.CompareAndSwap(0, me) {
+		l.acquisitions.Add(1)
+		l.emitAcquire(p)
+		return
+	}
+	l.contentions.Add(1)
+	var spin Time
+	backoff := 1
+	for {
+		backoff = parBackoff(backoff)
+		p.AdvanceSpin(c.LockSpinRetry)
+		spin += c.LockSpinRetry
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, me) {
+			break
+		}
+	}
+	l.spinTime.Add(int64(spin))
+	l.acquisitions.Add(1)
+	if r := p.m.rec; r != nil {
+		r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, l.name)
+	}
+	l.emitAcquire(p)
+}
+
+func (l *Spinlock) emitAcquire(p *Proc) {
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
 	}
@@ -97,13 +154,26 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 	if !l.enabled {
 		return true
 	}
+	if l.m.parallel {
+		p.Advance(p.m.costs.LockTAS)
+		if l.state.CompareAndSwap(0, int32(p.id)+1) {
+			l.acquisitions.Add(1)
+			l.emitAcquire(p)
+			return true
+		}
+		l.contentions.Add(1)
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockContend, p.id, int64(p.clock), 0, 0, l.name)
+		}
+		return false
+	}
 	p.Advance(p.m.costs.LockTAS)
 	if l.held {
 		panic(fmt.Sprintf("firefly: processor %d probed lock %q inside processor %d's critical section",
 			p.id, l.name, l.holder))
 	}
 	if p.clock < l.freeAt {
-		l.contentions++
+		l.contentions.Add(1)
 		if r := p.m.rec; r != nil {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), 0, 0, l.name)
 		}
@@ -111,7 +181,7 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 	}
 	l.held = true
 	l.holder = p.id
-	l.acquisitions++
+	l.acquisitions.Add(1)
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
 	}
@@ -125,6 +195,20 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 // holder's clock advance between Acquire and Release.
 func (l *Spinlock) Release(p *Proc) {
 	if !l.enabled {
+		return
+	}
+	if l.m.parallel {
+		if l.state.Load() != int32(p.id)+1 {
+			panic(fmt.Sprintf("firefly: processor %d releasing lock %q it does not hold", p.id, l.name))
+		}
+		p.Advance(p.m.costs.LockRelease)
+		l.state.Store(0)
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 1, l.name)
+		}
+		if s := p.m.san; s != nil {
+			s.OnRelease(p.id, int64(p.clock), l.name)
+		}
 		return
 	}
 	if !l.held || l.holder != p.id {
@@ -142,8 +226,14 @@ func (l *Spinlock) Release(p *Proc) {
 }
 
 // Held reports whether the lock is currently held (always false when
-// disabled, and false between host operations by construction).
-func (l *Spinlock) Held() bool { return l.held }
+// disabled, and false between host operations by construction in the
+// deterministic mode).
+func (l *Spinlock) Held() bool {
+	if l.m != nil && l.m.parallel {
+		return l.state.Load() != 0
+	}
+	return l.held
+}
 
 // Name returns the lock's registration name.
 func (l *Spinlock) Name() string { return l.name }
@@ -154,10 +244,15 @@ func (l *Spinlock) Name() string { return l.name }
 // waits for every outstanding read and excludes everything until it
 // releases. Like Spinlock it is a virtual-time reservation: critical
 // sections are host-atomic and only the timing is modelled.
+// In parallel host mode the lock is a real reader-count word (rw: -1
+// writer, otherwise the number of readers inside), CAS-acquired with
+// host backoff like Spinlock.
 type RWSpinlock struct {
 	inner *Spinlock // carries name/enabled/stats; its freeAt is the write horizon
 	// readsEnd is the virtual time the last overlapping read finishes.
 	readsEnd Time
+
+	rw atomic.Int32
 }
 
 // NewRWSpinlock registers a named readers-writer lock.
@@ -174,10 +269,42 @@ func (l *RWSpinlock) AcquireRead(p *Proc) {
 		return
 	}
 	c := p.m.costs
+	if in.m.parallel {
+		p.Advance(c.LockTAS)
+		in.acquisitions.Add(1)
+		contended := false
+		var spin Time
+		backoff := 1
+		for {
+			if v := l.rw.Load(); v >= 0 && l.rw.CompareAndSwap(v, v+1) {
+				break
+			}
+			if !contended {
+				contended = true
+				in.contentions.Add(1)
+			}
+			backoff = parBackoff(backoff)
+			p.AdvanceSpin(c.LockSpinRetry)
+			spin += c.LockSpinRetry
+		}
+		if contended {
+			in.spinTime.Add(int64(spin))
+			if r := p.m.rec; r != nil {
+				r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
+			}
+		}
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 0, in.name)
+		}
+		if s := p.m.san; s != nil {
+			s.OnAcquire(p.id, int64(p.clock), in.name)
+		}
+		return
+	}
 	p.Advance(c.LockTAS)
-	in.acquisitions++
+	in.acquisitions.Add(1)
 	if p.clock < in.freeAt { // a writer holds the lock until freeAt
-		in.contentions++
+		in.contentions.Add(1)
 		wait := in.freeAt - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
 		spin := rounds * c.LockSpinRetry
@@ -185,7 +312,7 @@ func (l *RWSpinlock) AcquireRead(p *Proc) {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
 		}
 		p.AdvanceSpin(spin)
-		in.spinTime += spin
+		in.spinTime.Add(int64(spin))
 	}
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 0, in.name)
@@ -202,7 +329,11 @@ func (l *RWSpinlock) ReleaseRead(p *Proc) {
 		return
 	}
 	p.Advance(p.m.costs.LockRelease)
-	if p.clock > l.readsEnd {
+	if l.inner.m.parallel {
+		if l.rw.Add(-1) < 0 {
+			panic(fmt.Sprintf("firefly: processor %d read-releasing lock %q it does not read-hold", p.id, l.inner.name))
+		}
+	} else if p.clock > l.readsEnd {
 		l.readsEnd = p.clock
 	}
 	if r := p.m.rec; r != nil {
@@ -221,14 +352,43 @@ func (l *RWSpinlock) AcquireWrite(p *Proc) {
 		return
 	}
 	c := p.m.costs
+	if in.m.parallel {
+		p.Advance(c.LockTAS)
+		in.acquisitions.Add(1)
+		contended := false
+		var spin Time
+		backoff := 1
+		for !l.rw.CompareAndSwap(0, -1) {
+			if !contended {
+				contended = true
+				in.contentions.Add(1)
+			}
+			backoff = parBackoff(backoff)
+			p.AdvanceSpin(c.LockSpinRetry)
+			spin += c.LockSpinRetry
+		}
+		if contended {
+			in.spinTime.Add(int64(spin))
+			if r := p.m.rec; r != nil {
+				r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
+			}
+		}
+		if r := p.m.rec; r != nil {
+			r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, in.name)
+		}
+		if s := p.m.san; s != nil {
+			s.OnAcquire(p.id, int64(p.clock), in.name)
+		}
+		return
+	}
 	p.Advance(c.LockTAS)
-	in.acquisitions++
+	in.acquisitions.Add(1)
 	horizon := in.freeAt
 	if l.readsEnd > horizon {
 		horizon = l.readsEnd
 	}
 	if p.clock < horizon {
-		in.contentions++
+		in.contentions.Add(1)
 		wait := horizon - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
 		spin := rounds * c.LockSpinRetry
@@ -236,7 +396,7 @@ func (l *RWSpinlock) AcquireWrite(p *Proc) {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
 		}
 		p.AdvanceSpin(spin)
-		in.spinTime += spin
+		in.spinTime.Add(int64(spin))
 	}
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, in.name)
@@ -252,7 +412,13 @@ func (l *RWSpinlock) ReleaseWrite(p *Proc) {
 		return
 	}
 	p.Advance(p.m.costs.LockRelease)
-	l.inner.freeAt = p.clock
+	if l.inner.m.parallel {
+		if !l.rw.CompareAndSwap(-1, 0) {
+			panic(fmt.Sprintf("firefly: processor %d write-releasing lock %q it does not write-hold", p.id, l.inner.name))
+		}
+	} else {
+		l.inner.freeAt = p.clock
+	}
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockRelease, p.id, int64(p.clock), 0, 1, l.inner.name)
 	}

@@ -26,6 +26,8 @@ package firefly
 import (
 	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mst/internal/sanitize"
 	"mst/internal/trace"
@@ -133,7 +135,7 @@ func (p *Proc) StallUntil(t Time) {
 
 // Stopped reports whether the machine has been shut down; work functions
 // must poll it and return promptly when it becomes true.
-func (p *Proc) Stopped() bool { return p.m.shutdown }
+func (p *Proc) Stopped() bool { return p.m.shutdown.Load() }
 
 // Yield ends this processor's quantum. The next scheduling decision is
 // made right here, on this goroutine: when this processor is scheduled
@@ -142,7 +144,11 @@ func (p *Proc) Stopped() bool { return p.m.shutdown }
 // done) routes through the driver goroutine so Run can return.
 func (p *Proc) Yield() {
 	m := p.m
-	if m.shutdown {
+	if m.parallel {
+		p.parYield()
+		return
+	}
+	if m.shutdown.Load() {
 		// Shutdown resumes each processor so its work function can
 		// observe Stopped and return; don't reschedule.
 		return
@@ -201,15 +207,16 @@ func (p *Proc) SetActive(active bool) {
 	}
 	p.active = active
 	if active {
-		p.m.activeProcs++
+		p.m.activeProcs.Add(1)
 	} else {
-		p.m.activeProcs--
+		p.m.activeProcs.Add(-1)
 	}
 }
 
 // ActiveProcs returns how many processors are executing Smalltalk
-// Processes right now.
-func (m *Machine) ActiveProcs() int { return m.activeProcs }
+// Processes right now. The count is atomic because in parallel host
+// mode the bus model reads it from every processor concurrently.
+func (m *Machine) ActiveProcs() int { return int(m.activeProcs.Load()) }
 
 type event struct {
 	at  Time
@@ -251,7 +258,7 @@ type Machine struct {
 
 	toDriver chan struct{}
 	running  bool
-	shutdown bool
+	shutdown atomic.Bool
 
 	// until is Run's stop predicate, checked between quanta wherever the
 	// scheduling decision happens; pendingStop/stopReason carry a stop
@@ -260,7 +267,7 @@ type Machine struct {
 	pendingStop bool
 	stopReason  StopReason
 
-	switches uint64
+	switches atomic.Uint64
 
 	// rec is the optional flight recorder; nil means tracing is off and
 	// every emission site reduces to one pointer check.
@@ -275,7 +282,29 @@ type Machine struct {
 	// activeProcs counts processors currently executing Smalltalk
 	// Processes (not idling). The shared memory bus degrades as more
 	// processors actively execute; see Costs.BusDivisor.
-	activeProcs int
+	activeProcs atomic.Int32
+
+	// Parallel host mode (see parallel.go). parallel is flipped once,
+	// between Runs, while every processor goroutine is parked, so the
+	// plain reads on the hot paths are race-free by happens-before.
+	parallel    bool
+	parMu       sync.Mutex
+	parCond     *sync.Cond
+	parReleased bool  // baton-parked goroutines released into free running
+	parkedStop  int   // procs parked waiting for the next Run
+	parkedSTW   int   // procs parked at a stop-the-world rendezvous
+	runGen      uint64
+	stopPending bool
+	stwOwner    *Proc
+	stwDepth    int // re-entrant StopTheWorld nesting by the owner
+	gcGen       uint64
+	stwEnd      Time // virtual end time of the last stop-the-world pause
+	shutdownPar bool
+
+	// parFlag is the parallel safepoint fast path: true whenever any
+	// processor must divert into parSlow (stop requested, world being
+	// stopped, or shutdown).
+	parFlag atomic.Bool
 }
 
 // New creates a machine with n processors and the given cost model.
@@ -318,7 +347,7 @@ func (m *Machine) SetQuantum(q Time) {
 func (m *Machine) SetTimeLimit(t Time) { m.limit = t }
 
 // Switches returns how many processor resumptions the driver performed.
-func (m *Machine) Switches() uint64 { return m.switches }
+func (m *Machine) Switches() uint64 { return m.switches.Load() }
 
 // SetRecorder attaches a flight recorder; nil detaches it. Recording
 // never changes virtual time or any counter, only observes them.
@@ -354,6 +383,13 @@ func (m *Machine) Start(i int, fn func(p *Proc)) {
 	go func() {
 		<-p.resume
 		fn(p)
+		if m.parallel {
+			m.parMu.Lock()
+			p.done = true
+			m.parCond.Broadcast()
+			m.parMu.Unlock()
+			return
+		}
 		p.done = true
 		m.toDriver <- struct{}{}
 	}()
@@ -425,7 +461,7 @@ func (m *Machine) schedule() (next *Proc, reason StopReason, stop bool) {
 		return nil, StopTimeLimit, true
 	}
 	p.yieldAt = m.secondClock(p) + m.quantum
-	m.switches++
+	m.switches.Add(1)
 	if m.rec != nil {
 		m.rec.Emit(trace.KQuantumStart, p.id, int64(p.clock), 0, 0, "")
 	}
@@ -439,11 +475,14 @@ func (m *Machine) Run(until func() bool) StopReason {
 	if m.running {
 		panic("firefly: Run is not reentrant")
 	}
-	if m.shutdown {
+	if m.shutdown.Load() {
 		panic("firefly: machine is shut down")
 	}
 	m.running = true
 	defer func() { m.running = false }()
+	if m.parallel {
+		return m.runParallel(until)
+	}
 	m.until = until
 	defer func() { m.until = nil }()
 
@@ -467,7 +506,13 @@ func (m *Machine) Run(until func() bool) StopReason {
 
 // StallOthers advances every processor except p to time t, accounting the
 // gap as stop-the-world stall. The scavenger calls this when it finishes.
+// In parallel host mode the stall is real (the rendezvous barrier in
+// StopTheWorld); each processor accounts its own pause as it wakes, so
+// this cross-processor clock write must not happen.
 func (m *Machine) StallOthers(p *Proc, t Time) {
+	if m.parallel {
+		return
+	}
 	for _, q := range m.procs {
 		if q != p && !q.done {
 			q.StallUntil(t)
@@ -478,10 +523,14 @@ func (m *Machine) StallOthers(p *Proc, t Time) {
 // Shutdown tells every work function to return and waits for them. The
 // machine cannot be used afterwards.
 func (m *Machine) Shutdown() {
-	if m.shutdown {
+	if m.shutdown.Load() {
 		return
 	}
-	m.shutdown = true
+	m.shutdown.Store(true)
+	if m.parallel {
+		m.shutdownParallel()
+		return
+	}
 	for _, p := range m.procs {
 		for p.started && !p.done {
 			p.resume <- struct{}{}
@@ -505,9 +554,9 @@ func (m *Machine) LockStats() []LockStats {
 	for _, l := range m.locks {
 		out = append(out, LockStats{
 			Name:         l.name,
-			Acquisitions: l.acquisitions,
-			Contentions:  l.contentions,
-			SpinTime:     l.spinTime,
+			Acquisitions: l.acquisitions.Load(),
+			Contentions:  l.contentions.Load(),
+			SpinTime:     Time(l.spinTime.Load()),
 		})
 	}
 	return out

@@ -1,0 +1,230 @@
+package firefly
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// startCounters boots n processors deterministically (one trivial
+// quantum each) so the machine is in the between-Runs state the
+// parallel flip requires.
+func startParallel(t *testing.T, n int, work func(p *Proc)) *Machine {
+	t.Helper()
+	m := New(n, DefaultCosts())
+	for i := 0; i < n; i++ {
+		m.Start(i, work)
+	}
+	m.SetParallel(true)
+	if !m.Parallel() {
+		t.Fatal("SetParallel did not take")
+	}
+	return m
+}
+
+// TestParallelSpinlockMutualExclusion: the CAS spinlock really
+// serializes — concurrent increments of an unsynchronized counter
+// under the lock lose no updates, and the invariant "a == b inside
+// the critical section" holds.
+func TestParallelSpinlockMutualExclusion(t *testing.T) {
+	const procs, per = 4, 2000
+	var a, b int // guarded by l; intentionally not atomic
+	var l *Spinlock
+	var doneProcs atomic.Int32
+	work := func(p *Proc) {
+		for i := 0; i < per; i++ {
+			if p.Stopped() {
+				return
+			}
+			l.Acquire(p)
+			a++
+			if a != b+1 {
+				panic("lock did not exclude")
+			}
+			b++
+			l.Release(p)
+			p.Advance(10)
+			p.CheckYield()
+		}
+		doneProcs.Add(1)
+		for !p.Stopped() {
+			p.AdvanceIdle(10)
+			p.Yield()
+		}
+	}
+	m := New(procs, DefaultCosts())
+	l = m.NewSpinlock("test", true)
+	for i := 0; i < procs; i++ {
+		m.Start(i, work)
+	}
+	m.SetParallel(true)
+	reason := m.Run(func() bool { return doneProcs.Load() == procs })
+	if reason != StopUntil {
+		t.Fatalf("Run returned %v", reason)
+	}
+	if a != procs*per || b != procs*per {
+		t.Fatalf("lost updates: a=%d b=%d want %d", a, b, procs*per)
+	}
+	st := m.LockStats()
+	if len(st) != 1 || st[0].Acquisitions != procs*per {
+		t.Fatalf("lock stats: %+v", st)
+	}
+	m.Shutdown()
+}
+
+// TestParallelStopTheWorldRendezvous: while the world is stopped the
+// owner sees every mutator at a safepoint — the two-step unlocked
+// mutation (x++ ... y++) is never visible half-done — and a second
+// simultaneous stopper observes that a collection already ran and
+// backs off (returns false).
+func TestParallelStopTheWorldRendezvous(t *testing.T) {
+	const stoppers = 2
+	var x, y int64 // mutated without locks, but only between safepoints
+	var arrived atomic.Int32
+	var trueCount, falseCount atomic.Int32
+	var mutatorDone, stopperDone atomic.Int32
+
+	mutator := func(p *Proc) {
+		for i := 0; i < 5000 && !p.Stopped(); i++ {
+			x++
+			y++
+			p.Advance(5)
+			p.CheckYield()
+		}
+		mutatorDone.Store(1)
+		for !p.Stopped() {
+			p.AdvanceIdle(10)
+			p.Yield()
+		}
+	}
+	stopper := func(p *Proc) {
+		// Host-level barrier so both stoppers collide on the world.
+		arrived.Add(1)
+		for arrived.Load() < stoppers {
+			runtime.Gosched()
+		}
+		if p.m.StopTheWorld(p) {
+			if x != y {
+				panic("world not stopped: x != y")
+			}
+			before := x
+			p.Advance(100) // simulated collection work
+			if x != before {
+				panic("mutator ran during the pause")
+			}
+			trueCount.Add(1)
+			p.m.ResumeTheWorld(p)
+		} else {
+			falseCount.Add(1)
+		}
+		stopperDone.Add(1)
+		for !p.Stopped() {
+			p.AdvanceIdle(10)
+			p.Yield()
+		}
+	}
+
+	m := New(3, DefaultCosts())
+	m.Start(0, mutator)
+	m.Start(1, stopper)
+	m.Start(2, stopper)
+	m.SetParallel(true)
+	reason := m.Run(func() bool {
+		return mutatorDone.Load() == 1 && stopperDone.Load() == stoppers
+	})
+	if reason != StopUntil {
+		t.Fatalf("Run returned %v", reason)
+	}
+	if trueCount.Load() != 1 || falseCount.Load() != 1 {
+		t.Fatalf("simultaneous stoppers: %d owned the world, %d backed off; want exactly 1 and 1",
+			trueCount.Load(), falseCount.Load())
+	}
+	if x != 5000 || y != 5000 {
+		t.Fatalf("mutator work lost: x=%d y=%d", x, y)
+	}
+	m.Shutdown()
+}
+
+// TestParallelRunRepeats: Run can be called repeatedly in parallel
+// mode, the time limit stops a runaway run, and stall/clock accounting
+// survives the mode. Also exercises Shutdown with processors parked.
+func TestParallelRunRepeatsAndTimeLimit(t *testing.T) {
+	var phase atomic.Int32
+	work := func(p *Proc) {
+		for !p.Stopped() {
+			p.Advance(20)
+			if phase.Load() == 0 {
+				phase.Store(1)
+			}
+			p.CheckYield()
+		}
+	}
+	m := startParallel(t, 2, work)
+	if r := m.Run(func() bool { return phase.Load() >= 1 }); r != StopUntil {
+		t.Fatalf("first Run returned %v", r)
+	}
+	m.SetTimeLimit(m.Proc(0).Now() + 10000)
+	if r := m.Run(func() bool { return false }); r != StopTimeLimit {
+		t.Fatalf("limited Run returned %v", r)
+	}
+	for i := 0; i < m.NumProcs(); i++ {
+		st := m.Proc(i).Stats()
+		if st.Clock <= 0 {
+			t.Fatalf("proc %d clock did not advance: %+v", i, st)
+		}
+	}
+	m.Shutdown()
+	// Shutdown is idempotent.
+	m.Shutdown()
+}
+
+// TestParallelRWSpinlock: writers exclude each other and all readers;
+// reader counts really overlap.
+func TestParallelRWSpinlock(t *testing.T) {
+	const procs = 4
+	var shared [2]int64 // written only by writers, under the write lock
+	var rw *RWSpinlock
+	var done atomic.Int32
+	work := func(p *Proc) {
+		for i := 0; i < 1500; i++ {
+			if p.Stopped() {
+				return
+			}
+			if p.ID()%2 == 0 {
+				rw.AcquireWrite(p)
+				shared[0]++
+				if shared[0] != shared[1]+1 {
+					panic("write lock did not exclude")
+				}
+				shared[1]++
+				rw.ReleaseWrite(p)
+			} else {
+				rw.AcquireRead(p)
+				if shared[0] != shared[1] {
+					panic("reader saw a half-done write")
+				}
+				rw.ReleaseRead(p)
+			}
+			p.Advance(7)
+			p.CheckYield()
+		}
+		done.Add(1)
+		for !p.Stopped() {
+			p.AdvanceIdle(10)
+			p.Yield()
+		}
+	}
+	m := New(procs, DefaultCosts())
+	rw = m.NewRWSpinlock("rwtest", true)
+	for i := 0; i < procs; i++ {
+		m.Start(i, work)
+	}
+	m.SetParallel(true)
+	if r := m.Run(func() bool { return done.Load() == procs }); r != StopUntil {
+		t.Fatalf("Run returned %v", r)
+	}
+	if want := int64(2 * 1500); shared[0] != want || shared[1] != want {
+		t.Fatalf("writer updates lost: %v want %d", shared, want)
+	}
+	m.Shutdown()
+}

@@ -51,8 +51,9 @@ func (h *Heap) Allocate(p *firefly.Proc, class object.OOP, bodyWords int, f obje
 
 	c := h.m.Costs()
 	p.Advance(c.Alloc + c.AllocPerWord*firefly.Time(total))
-	h.stats.Allocations++
-	h.stats.AllocatedWords += uint64(total)
+	sh := &h.allocShards[p.ID()]
+	sh.allocations.Add(1)
+	sh.allocatedWords.Add(uint64(total))
 
 	o := object.FromAddr(addr)
 	if addr < h.newBase && h.InNewSpace(class) {
@@ -161,7 +162,7 @@ func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
 			h.eden.next = t.limit
 			h.allocLock.Release(p)
 			p.Advance(c.TLABRefill)
-			h.stats.TLABRefills++
+			h.allocShards[p.ID()].tlabRefills.Add(1)
 			addr := t.next
 			t.next += uint64(total)
 			return addr

@@ -15,6 +15,14 @@ import (
 // forwarding table held outside the heap. Everything below old space
 // (the immortal nil/true/false area) never moves.
 func (h *Heap) FullCollect(p *firefly.Proc) {
+	if h.par {
+		if !h.m.StopTheWorld(p) {
+			// Another processor collected while we waited; whatever
+			// space pressure prompted this call has been relieved.
+			return
+		}
+		defer h.m.ResumeTheWorld(p)
+	}
 	start := p.Now()
 	if h.rec != nil {
 		h.rec.Emit(trace.KFullGCBegin, p.ID(), int64(start), 0, 0, "")

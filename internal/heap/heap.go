@@ -14,6 +14,8 @@ package heap
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mst/internal/firefly"
 	"mst/internal/object"
@@ -67,6 +69,12 @@ type Config struct {
 	LocksEnabled bool
 	// TortureGC forces a scavenge before every allocation; test use.
 	TortureGC bool
+	// Parallel marks the heap for parallel host mode: word accessors
+	// become host-atomic, allocation statistics are sharded per
+	// processor, identity-hash assignment takes a host mutex, and the
+	// scavenger stops the world through the machine's rendezvous
+	// barrier instead of assuming the baton protocol stopped it.
+	Parallel bool
 }
 
 // DefaultConfig returns a config mirroring the paper's memory setup,
@@ -151,6 +159,18 @@ type Heap struct {
 	oldScan uint64
 
 	hashSeed uint32
+	// hashMu serializes lazy identity-hash assignment in parallel mode
+	// (the only header mutation that can race outside a lock).
+	hashMu sync.Mutex
+
+	// par caches cfg.Parallel for the accessor hot paths.
+	par bool
+
+	// allocShards holds per-processor allocation counters in parallel
+	// mode (a Table-3 replication row: no synchronization because each
+	// processor owns its shard); Stats sums them. Padded to keep the
+	// shards on separate cache lines.
+	allocShards []allocShard
 
 	// rec is the machine's flight recorder (nil when tracing is off),
 	// cached here so hot allocation paths pay one pointer check. gcProc
@@ -190,10 +210,12 @@ func New(m *firefly.Machine, cfg Config) *Heap {
 	h := &Heap{
 		cfg: cfg,
 		m:   m,
+		par: cfg.Parallel,
 		mem: make([]uint64, total),
 		rec: m.Recorder(),
 		san: m.Sanitizer(),
 	}
+	h.allocShards = make([]allocShard, m.NumProcs())
 	base := uint64(object.FirstFreeAddress)
 	h.old = space{base: base, limit: base + uint64(cfg.OldWords), next: base}
 	a := h.old.limit
@@ -234,12 +256,32 @@ func (h *Heap) Machine() *firefly.Machine { return h.m }
 // Config returns the heap's configuration.
 func (h *Heap) Config() Config { return h.cfg }
 
-// Stats returns a snapshot of heap statistics.
+// Stats returns a snapshot of heap statistics. Per-processor shards
+// are summed in, so the totals match the unsharded accounting exactly.
+// The shard loads are atomic, making Stats safe to call (for racy but
+// per-counter-consistent values) while parallel processors allocate.
 func (h *Heap) Stats() Stats {
 	s := h.stats
+	for i := range h.allocShards {
+		sh := &h.allocShards[i]
+		s.Allocations += sh.allocations.Load()
+		s.AllocatedWords += sh.allocatedWords.Load()
+		s.TLABRefills += sh.tlabRefills.Load()
+	}
 	s.OldWordsInUse = h.old.next - h.old.base
 	s.EdenWordsInUse = h.eden.next - h.eden.base
 	return s
+}
+
+// allocShard is one processor's private allocation counters; the pad
+// keeps concurrent bumps off each other's cache lines. The fields are
+// atomic only so readers (the stat primitive, msbench) never race the
+// owner's bumps — each shard still has exactly one writer.
+type allocShard struct {
+	allocations    atomic.Uint64
+	allocatedWords atomic.Uint64
+	tlabRefills    atomic.Uint64
+	_              [5]uint64
 }
 
 // InNewSpace reports whether a pointer OOP refers to new space (eden or a
@@ -254,39 +296,79 @@ func (h *Heap) InOldSpace(o object.OOP) bool {
 	return o.IsPtr() && o != object.Invalid && o.Addr() < h.newBase
 }
 
+// loadWord/storeWord are the two memory primitives every accessor
+// funnels through. In parallel host mode they are host-atomic: the
+// simulated words are genuinely shared between processor goroutines,
+// and a word store on the modeled hardware is atomic, so the host must
+// match it. The deterministic mode keeps the plain loads and stores
+// (no host-synchronization cost, bit-identical behavior). Higher-level
+// races — two Smalltalk processes storing into the same object without
+// a lock — remain exactly as visible as they would be on the Firefly.
+func (h *Heap) loadWord(i uint64) uint64 {
+	if h.par {
+		return atomic.LoadUint64(&h.mem[i])
+	}
+	return h.mem[i]
+}
+
+func (h *Heap) storeWord(i uint64, v uint64) {
+	if h.par {
+		atomic.StoreUint64(&h.mem[i], v)
+		return
+	}
+	h.mem[i] = v
+}
+
+// casHeader applies f to o's header with a compare-and-swap loop. The
+// header word carries independently-locked bits (the remembered bit
+// under the entry-table lock, the identity hash under hashMu), so in
+// parallel mode a plain read-modify-write could lose the other lock's
+// update; the CAS makes each bit-field update atomic with respect to
+// the whole word.
+func (h *Heap) casHeader(o object.OOP, f func(object.Header) object.Header) object.Header {
+	addr := o.Addr()
+	for {
+		old := atomic.LoadUint64(&h.mem[addr])
+		hd := f(object.Header(old))
+		if atomic.CompareAndSwapUint64(&h.mem[addr], old, uint64(hd)) {
+			return hd
+		}
+	}
+}
+
 // Header returns the object header of o.
 func (h *Heap) Header(o object.OOP) object.Header {
-	return object.Header(h.mem[o.Addr()])
+	return object.Header(h.loadWord(o.Addr()))
 }
 
 // SetHeader replaces the object header of o.
 func (h *Heap) SetHeader(o object.OOP, hd object.Header) {
-	h.mem[o.Addr()] = uint64(hd)
+	h.storeWord(o.Addr(), uint64(hd))
 }
 
 // ClassOf returns the class word of a pointer OOP. SmallIntegers have no
 // class word; the interpreter maps them to the SmallInteger class.
 func (h *Heap) ClassOf(o object.OOP) object.OOP {
-	return object.OOP(h.mem[o.Addr()+1])
+	return object.OOP(h.loadWord(o.Addr() + 1))
 }
 
 // SetClass stores the class word of o, with a store check (a class in new
 // space referenced from an old object must be remembered).
 func (h *Heap) SetClass(p *firefly.Proc, o, class object.OOP) {
-	h.mem[o.Addr()+1] = uint64(class)
+	h.storeWord(o.Addr()+1, uint64(class))
 	h.storeCheck(p, o, class)
 }
 
 // Fetch returns pointer field i (0-based, past the header) of o.
 func (h *Heap) Fetch(o object.OOP, i int) object.OOP {
-	return object.OOP(h.mem[o.Addr()+object.HeaderWords+uint64(i)])
+	return object.OOP(h.loadWord(o.Addr() + object.HeaderWords + uint64(i)))
 }
 
 // Store writes pointer field i of o with the generation-scavenging store
 // check: recording an old object that now references new space in the
 // entry table, serialized under the entry-table lock (paper §3.1).
 func (h *Heap) Store(p *firefly.Proc, o object.OOP, i int, v object.OOP) {
-	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = uint64(v)
+	h.storeWord(o.Addr()+object.HeaderWords+uint64(i), uint64(v))
 	h.storeCheck(p, o, v)
 }
 
@@ -294,7 +376,7 @@ func (h *Heap) Store(p *firefly.Proc, o object.OOP, i int, v object.OOP) {
 // when v is provably not a new-space reference (SmallIntegers, nil) or o
 // is provably in new space.
 func (h *Heap) StoreNoCheck(o object.OOP, i int, v object.OOP) {
-	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = uint64(v)
+	h.storeWord(o.Addr()+object.HeaderWords+uint64(i), uint64(v))
 }
 
 // sanAccess reports an access to a serialized heap structure to the
@@ -327,7 +409,13 @@ func (h *Heap) storeCheck(p *firefly.Proc, o, v object.OOP) {
 	h.sanAccess(p, "remembered-set")
 	hd = h.Header(o) // re-read under the lock
 	if !hd.Remembered() {
-		h.SetHeader(o, hd.SetRemembered(true))
+		if h.par {
+			h.casHeader(o, func(hd object.Header) object.Header {
+				return hd.SetRemembered(true)
+			})
+		} else {
+			h.SetHeader(o, hd.SetRemembered(true))
+		}
 		h.remembered = append(h.remembered, o)
 		if len(h.remembered) > h.stats.RememberedPeak {
 			h.stats.RememberedPeak = len(h.remembered)
@@ -343,15 +431,18 @@ func (h *Heap) RememberedCount() int { return len(h.remembered) }
 
 // FetchByte returns byte i of a FmtBytes object.
 func (h *Heap) FetchByte(o object.OOP, i int) byte {
-	w := h.mem[o.Addr()+object.HeaderWords+uint64(i>>3)]
+	w := h.loadWord(o.Addr() + object.HeaderWords + uint64(i>>3))
 	return byte(w >> (uint(i&7) * 8))
 }
 
-// StoreByte writes byte i of a FmtBytes object.
+// StoreByte writes byte i of a FmtBytes object. The read-modify-write
+// is word-atomic in parallel mode but not interlocked: concurrent
+// unsynchronized byte stores into the same word can lose an update,
+// exactly as adjacent byte stores could on the modeled hardware.
 func (h *Heap) StoreByte(o object.OOP, i int, b byte) {
 	idx := o.Addr() + object.HeaderWords + uint64(i>>3)
 	shift := uint(i&7) * 8
-	h.mem[idx] = h.mem[idx]&^(0xFF<<shift) | uint64(b)<<shift
+	h.storeWord(idx, h.loadWord(idx)&^(0xFF<<shift)|uint64(b)<<shift)
 }
 
 // ByteLen returns the logical byte length of a FmtBytes object.
@@ -380,12 +471,12 @@ func (h *Heap) WriteBytes(o object.OOP, b []byte) {
 
 // FetchWord returns raw word i of a FmtWords object.
 func (h *Heap) FetchWord(o object.OOP, i int) uint64 {
-	return h.mem[o.Addr()+object.HeaderWords+uint64(i)]
+	return h.loadWord(o.Addr() + object.HeaderWords + uint64(i))
 }
 
 // StoreWord writes raw word i of a FmtWords object.
 func (h *Heap) StoreWord(o object.OOP, i int, w uint64) {
-	h.mem[o.Addr()+object.HeaderWords+uint64(i)] = w
+	h.storeWord(o.Addr()+object.HeaderWords+uint64(i), w)
 }
 
 // FieldCount returns the logical field count of a pointers/words object.
@@ -402,13 +493,28 @@ func (h *Heap) IdentityHash(o object.OOP) uint32 {
 	if v := hd.Hash(); v != 0 {
 		return v
 	}
+	if h.par {
+		// Assignment mutates the header outside any virtual lock; a
+		// host mutex keeps the seed and the double-checked header
+		// update consistent across processors.
+		h.hashMu.Lock()
+		defer h.hashMu.Unlock()
+		hd = h.Header(o)
+		if v := hd.Hash(); v != 0 {
+			return v
+		}
+	}
 	h.hashSeed++
 	v := h.hashSeed & object.MaxHash
 	if v == 0 {
 		h.hashSeed++
 		v = 1
 	}
-	h.SetHeader(o, hd.SetHash(v))
+	if h.par {
+		h.casHeader(o, func(hd object.Header) object.Header { return hd.SetHash(v) })
+	} else {
+		h.SetHeader(o, hd.SetHash(v))
+	}
 	return v
 }
 

@@ -21,6 +21,16 @@ import (
 // oops. On return, every other processor's clock has been advanced to
 // the scavenge end, modelling the rendezvous stall.
 func (h *Heap) Scavenge(p *firefly.Proc) {
+	if h.par {
+		// Parallel host mode: really stop the world. A false return
+		// means another processor collected while we waited our turn;
+		// our allocation failure is resolved, so skip the collection
+		// and let the caller retry.
+		if !h.m.StopTheWorld(p) {
+			return
+		}
+		defer h.m.ResumeTheWorld(p)
+	}
 	if h.inGC {
 		panic("heap: recursive scavenge")
 	}

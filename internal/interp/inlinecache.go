@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"sort"
+
 	"mst/internal/bytecode"
 	"mst/internal/object"
 )
@@ -95,7 +97,7 @@ func (in *Interp) icFor(method object.OOP, code []byte) *icMethod {
 // cache / dictionary walk.
 func (in *Interp) icFill(site *icSite, class, method object.OOP, prim int) {
 	in.p.Advance(in.costs.ICFill)
-	in.vm.stats.ICFills++
+	in.stats.ICFills++
 	if in.icPolicy == ICMono || site.n == 0 {
 		site.entries[0] = icEntry{class, method, prim}
 		site.n = 1
@@ -103,7 +105,7 @@ func (in *Interp) icFill(site *icSite, class, method object.OOP, prim int) {
 	}
 	if site.n < icWays {
 		if site.n == 1 {
-			in.vm.stats.ICPolySites++
+			in.stats.ICPolySites++
 		}
 		site.entries[site.n] = icEntry{class, method, prim}
 		site.n++
@@ -116,7 +118,7 @@ func (in *Interp) icFill(site *icSite, class, method object.OOP, prim int) {
 	// plain method-cache path.
 	site.mega = true
 	site.n = 0
-	in.vm.stats.ICMegaSites++
+	in.stats.ICMegaSites++
 }
 
 // flushIC drops every inline-cache binding (a method install made class
@@ -135,8 +137,20 @@ func (in *Interp) flushIC() {
 // scavenger as updatable root slots. Registered only when ICs are on,
 // so the default configuration's root set — and therefore its scavenge
 // work and virtual timing — is untouched.
+//
+// The methods are visited in sorted-oop order, NOT map order: the
+// scavenger copies survivors in the order it first reaches them, so
+// root order decides to-space addresses, which decide method-cache
+// hashing and hence virtual timing. Go map iteration order would make
+// every IC-enabled run differ (the determinism CI job caught this).
 func (in *Interp) icVisitRoots(visit func(*object.OOP)) {
-	for _, m := range in.ic {
+	keys := make([]object.OOP, 0, len(in.ic))
+	for k := range in.ic {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		m := in.ic[k]
 		visit(&m.method)
 		for i := range m.sites {
 			s := &m.sites[i]

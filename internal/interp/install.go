@@ -373,12 +373,22 @@ type EvalResult struct {
 // host main goroutine may not touch virtual locks while processors are
 // parked mid-acquisition.
 func (vm *VM) Do(f func(p *firefly.Proc)) error {
+	// done is written by interpreter 0 and read by the stop predicate,
+	// which in parallel host mode runs at every processor's safepoints
+	// — hence the hostMu handshake.
 	done := false
 	vm.pendingWork = append(vm.pendingWork, func(p *firefly.Proc) {
 		f(p)
+		vm.hostMu.Lock()
 		done = true
+		vm.hostMu.Unlock()
 	})
-	reason := vm.M.Run(func() bool { return done || vm.dead })
+	reason := vm.M.Run(func() bool {
+		vm.hostMu.Lock()
+		d := done || vm.dead
+		vm.hostMu.Unlock()
+		return d
+	})
 	if vm.dead {
 		return fmt.Errorf("interp: machine dead: %s", vm.evalFailed)
 	}
@@ -416,13 +426,20 @@ func (vm *VM) Evaluate(source string) (EvalResult, error) {
 	if err := vm.Do(func(p *firefly.Proc) {
 		mo := vm.MaterializeMethod(p, m, vm.Specials.UndefinedObject, "doits")
 		proc := vm.NewProcessForMethod(p, mo, object.Nil, UserPriority)
+		vm.hostMu.Lock()
 		vm.evalProc = proc
+		vm.hostMu.Unlock()
 		vm.scheduleProcess(p, proc)
 	}); err != nil {
 		return EvalResult{}, err
 	}
 
-	reason := vm.M.Run(func() bool { return vm.evalDone })
+	reason := vm.M.Run(func() bool {
+		vm.hostMu.Lock()
+		d := vm.evalDone
+		vm.hostMu.Unlock()
+		return d
+	})
 	res := EvalResult{Value: vm.evalResult, Reason: reason, Failed: vm.evalFailed}
 	vm.evalProc = object.Nil
 	if reason != firefly.StopUntil && !vm.evalDone {

@@ -42,6 +42,11 @@ type Interp struct {
 	freeSmall []object.OOP        // free context lists (FreeCtxPerProcessor);
 	freeLarge []object.OOP        // NOT roots: flushed at every scavenge
 
+	// stats are this interpreter's activity counters — replicated like
+	// the caches so parallel host mode counts without contention (or
+	// races); VM.Stats() sums them.
+	stats Stats
+
 	// Host-side caches of the executing method, derived from the
 	// register roots (NOT roots themselves: re-derived after scavenges
 	// via refreshCode, flushed with the method caches). code is the
@@ -137,10 +142,12 @@ func (in *Interp) Run() {
 	defer func() {
 		if r := recover(); r != nil {
 			msg := fmt.Sprintf("interpreter %d died: %v", in.p.ID(), r)
+			in.vm.hostMu.Lock()
 			in.vm.errors = append(in.vm.errors, msg)
 			in.vm.evalFailed = msg
 			in.vm.evalDone = true
 			in.vm.dead = true
+			in.vm.hostMu.Unlock()
 		}
 	}()
 	for !in.p.Stopped() {
@@ -256,7 +263,7 @@ func (in *Interp) step() {
 	vm := in.vm
 	h := vm.H
 	c := in.costs
-	vm.stats.Bytecodes++
+	in.stats.Bytecodes++
 	in.p.Advance(c.Bytecode)
 
 	// Shared memory-bus contention: executing alongside other active

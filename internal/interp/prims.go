@@ -489,7 +489,7 @@ func (in *Interp) callPrimitive(prim, nargs int) bool {
 		if !idx.IsInt() {
 			return false
 		}
-		return in.primReturn(nargs, object.FromInt(vm.statAt(int(idx.Int()))))
+		return in.primReturn(nargs, object.FromInt(in.statAt(int(idx.Int()))))
 
 	case PrimNumProcs:
 		return in.primReturn(nargs, object.FromInt(int64(vm.M.NumProcs())))
@@ -513,12 +513,17 @@ func (in *Interp) callPrimitive(prim, nargs int) bool {
 		return in.primReturn(nargs, recv)
 
 	case PrimSensorNext:
+		// Pop under devMu, then allocate: NewArray may scavenge, and a
+		// host mutex must never be held across an allocation.
+		vm.devMu.Lock()
 		if len(vm.inputQueue) == 0 {
+			vm.devMu.Unlock()
 			return in.primReturn(nargs, object.Nil)
 		}
 		e := vm.inputQueue[0]
 		copy(vm.inputQueue, vm.inputQueue[1:])
 		vm.inputQueue = vm.inputQueue[:len(vm.inputQueue)-1]
+		vm.devMu.Unlock()
 		arr := vm.NewArray(in.p, 4)
 		h.StoreNoCheck(arr, 0, object.FromInt(int64(e.Kind)))
 		h.StoreNoCheck(arr, 1, object.FromInt(int64(e.Key)))
@@ -527,8 +532,11 @@ func (in *Interp) callPrimitive(prim, nargs int) bool {
 		return in.primReturn(nargs, arr)
 
 	case PrimSensorPending:
+		vm.devMu.Lock()
+		queued := len(vm.inputQueue) > 0
+		vm.devMu.Unlock()
 		return in.primReturn(nargs,
-			object.FromBool(len(vm.inputQueue) > 0 || vm.Sensor.HasPending()))
+			object.FromBool(queued || vm.Sensor.HasPending()))
 
 	case PrimDelayRegister:
 		sem := in.stackAt(1)
@@ -549,10 +557,12 @@ func (in *Interp) callPrimitive(prim, nargs int) bool {
 			msg = vm.GoString(arg)
 		}
 		vm.Disp.TranscriptShow(in.p, "Error: "+msg+"\n")
+		vm.hostMu.Lock()
 		vm.errors = append(vm.errors, "Smalltalk error: "+msg)
 		if in.proc == vm.evalProc && in.proc != object.Nil {
 			vm.evalFailed = "Smalltalk error: " + msg
 		}
+		vm.hostMu.Unlock()
 		in.terminateCurrentProcess()
 		return true
 

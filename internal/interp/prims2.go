@@ -270,7 +270,9 @@ func (in *Interp) primCompile(nargs int, recv object.OOP) bool {
 	}
 	mo, err := vm.CompileAndInstall(in.p, recv, vm.GoString(src), vm.GoString(cat))
 	if err != nil {
+		vm.hostMu.Lock()
 		vm.errors = append(vm.errors, "compile: "+err.Error())
+		vm.hostMu.Unlock()
 		return false
 	}
 	return in.primReturn(nargs, mo)
@@ -371,26 +373,38 @@ func splitWords(s string) []string {
 	return out
 }
 
-// statAt exposes VM statistics to the image (primitive 92).
-func (vm *VM) statAt(i int) int64 {
+// statAt exposes VM statistics to the image (primitive 92). In
+// deterministic mode the interpreter counters are summed across all
+// interpreters (the historical — and golden — behaviour). In parallel
+// host mode the other interpreters are mutating their counters
+// concurrently, so the primitive reports the asking interpreter's own
+// replica instead; the heap counters are safe either way (shard sums
+// are atomic, scavenge counters only change while the world is
+// stopped).
+func (in *Interp) statAt(i int) int64 {
+	vm := in.vm
 	hs := vm.H.Stats()
+	is := in.stats
+	if !vm.par {
+		is = vm.Stats()
+	}
 	switch i {
 	case 1:
 		return int64(hs.Scavenges)
 	case 2:
-		return int64(vm.stats.Bytecodes)
+		return int64(is.Bytecodes)
 	case 3:
-		return int64(vm.stats.Sends)
+		return int64(is.Sends)
 	case 4:
-		return int64(vm.stats.CacheHits)
+		return int64(is.CacheHits)
 	case 5:
-		return int64(vm.stats.CacheMisses)
+		return int64(is.CacheMisses)
 	case 6:
-		return int64(vm.stats.ProcessSwitches)
+		return int64(is.ProcessSwitches)
 	case 7:
-		return int64(vm.stats.ContextsAlloc)
+		return int64(is.ContextsAlloc)
 	case 8:
-		return int64(vm.stats.ContextsRecycled)
+		return int64(is.ContextsRecycled)
 	case 9:
 		return int64(hs.Allocations)
 	case 10:
@@ -398,7 +412,7 @@ func (vm *VM) statAt(i int) int64 {
 	case 11:
 		return int64(hs.ScavengeTime)
 	case 12:
-		return int64(vm.stats.DNUs)
+		return int64(is.DNUs)
 	default:
 		return 0
 	}

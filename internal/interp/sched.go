@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"runtime"
+
 	"mst/internal/firefly"
 	"mst/internal/object"
 	"mst/internal/trace"
@@ -111,7 +113,7 @@ func (vm *VM) findReady(p *firefly.Proc) object.OOP {
 // ready queue) this interpreter's current Process.
 func (in *Interp) switchToProcess(proc object.OOP) {
 	vm := in.vm
-	vm.stats.ProcessSwitches++
+	in.stats.ProcessSwitches++
 	if in.rec != nil {
 		// The raw oop value identifies the Process; IdentityHash would
 		// lazily assign hash bits (a heap mutation) and so is off-limits.
@@ -175,10 +177,12 @@ func (in *Interp) processCompleted(val object.OOP) {
 	vm := in.vm
 	// The eval rendezvous result must survive until the caller reads
 	// it; evalResult is a root.
+	vm.hostMu.Lock()
 	if in.proc == vm.evalProc && in.proc != object.Nil {
 		vm.evalResult = val
 		vm.evalDone = true
 	}
+	vm.hostMu.Unlock()
 	vm.schedLock.Acquire(in.p)
 	vm.H.StoreNoCheck(in.proc, PrState, object.FromInt(StateTerminated))
 	vm.unlinkFromCurrentList(in.p, in.proc)
@@ -192,11 +196,13 @@ func (in *Interp) terminateCurrentProcess() {
 	if in.proc == object.Nil {
 		return
 	}
+	in.vm.hostMu.Lock()
 	if in.proc == in.vm.evalProc {
 		in.vm.evalFailed = "process terminated by VM error"
 		in.vm.evalResult = object.Nil
 		in.vm.evalDone = true
 	}
+	in.vm.hostMu.Unlock()
 	in.processCompleted(object.Nil)
 }
 
@@ -216,7 +222,7 @@ func (vm *VM) scheduleProcess(p *firefly.Proc, proc object.OOP) {
 func (in *Interp) semWait(sem object.OOP) {
 	vm := in.vm
 	h := vm.H
-	vm.stats.SemWaits++
+	in.stats.SemWaits++
 	vm.schedLock.Acquire(in.p)
 	excess := h.Fetch(sem, SemExcess).Int()
 	if excess > 0 {
@@ -244,7 +250,7 @@ func (vm *VM) listAppendSem(p *firefly.Proc, sem, proc object.OOP) {
 func (in *Interp) semSignal(sem object.OOP) {
 	vm := in.vm
 	h := vm.H
-	vm.stats.SemSignals++
+	in.stats.SemSignals++
 	vm.schedLock.Acquire(in.p)
 	first := h.Fetch(sem, LLFirst)
 	if first == object.Nil {
@@ -276,7 +282,7 @@ func (in *Interp) semSignal(sem object.OOP) {
 func (in *Interp) semSignalFromGo(sem object.OOP) {
 	vm := in.vm
 	h := vm.H
-	vm.stats.SemSignals++
+	in.stats.SemSignals++
 	vm.schedLock.Acquire(in.p)
 	first := h.Fetch(sem, LLFirst)
 	if first == object.Nil {
@@ -352,10 +358,12 @@ func (in *Interp) procTerminate(target object.OOP) bool {
 	vm := in.vm
 	h := vm.H
 	if target == in.proc {
+		vm.hostMu.Lock()
 		if in.proc == vm.evalProc {
 			vm.evalResult = object.Nil
 			vm.evalDone = true
 		}
+		vm.hostMu.Unlock()
 		in.processCompleted(object.Nil)
 		return true
 	}
@@ -391,9 +399,14 @@ func (in *Interp) canRun(target object.OOP) bool {
 // ---- Idle loop and device polling ----
 
 // idleStep runs when this interpreter has no Process: poll the ready
-// queue cheaply, with the V kernel Delay equivalent between polls.
+// queue cheaply, with the V kernel Delay equivalent between polls. In
+// parallel host mode an idle interpreter also yields its OS thread so
+// busy processors (and single-core hosts) get the cycles.
 func (in *Interp) idleStep() {
 	vm := in.vm
+	if vm.par {
+		runtime.Gosched()
+	}
 	in.p.AdvanceIdle(in.costs.IdlePoll)
 	if !vm.schedLock.TryAcquire(in.p) {
 		in.p.CheckYield()
@@ -414,14 +427,25 @@ func (in *Interp) idleStep() {
 // pollDevices transfers expired delays and pending input events into
 // the Smalltalk world ("the interpreter must manipulate
 // [the scheduler] asynchronously, in response to input events").
+// The device queues live under devMu; each expired entry is popped
+// under the mutex but signalled outside it, because the semaphore
+// signal takes the virtual scheduler lock and host-mutex critical
+// sections must stay brief. No safepoint lies between pop and signal,
+// so the raw sem oop cannot go stale.
 func (in *Interp) pollDevices() {
 	vm := in.vm
 	in.p.Advance(in.costs.EventPoll)
 	// Timers.
-	for len(vm.delays) > 0 && vm.delays[0].wake <= in.p.Now() {
+	for {
+		vm.devMu.Lock()
+		if len(vm.delays) == 0 || vm.delays[0].wake > in.p.Now() {
+			vm.devMu.Unlock()
+			break
+		}
 		sem := vm.delays[0].sem
 		copy(vm.delays, vm.delays[1:])
 		vm.delays = vm.delays[:len(vm.delays)-1]
+		vm.devMu.Unlock()
 		in.semSignalFromGo(sem)
 	}
 	// Input events: signal the input semaphore once per pending event.
@@ -430,16 +454,20 @@ func (in *Interp) pollDevices() {
 		if !ok {
 			break
 		}
+		vm.devMu.Lock()
 		vm.inputQueue = append(vm.inputQueue, e)
+		vm.devMu.Unlock()
 		in.semSignalFromGo(vm.Specials.InputSem)
 	}
 }
 
 // registerDelay arranges for sem to be signalled at wake time.
 func (vm *VM) registerDelay(wake firefly.Time, sem object.OOP) {
+	vm.devMu.Lock()
 	vm.delays = append(vm.delays, delayEntry{wake: wake, sem: sem})
 	// Keep sorted by wake time (the queue is tiny).
 	for i := len(vm.delays) - 1; i > 0 && vm.delays[i].wake < vm.delays[i-1].wake; i-- {
 		vm.delays[i], vm.delays[i-1] = vm.delays[i-1], vm.delays[i]
 	}
+	vm.devMu.Unlock()
 }

@@ -53,7 +53,7 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 		if locked {
 			vm.cacheLock.ReleaseRead(in.p)
 		}
-		vm.stats.CacheHits++
+		in.stats.CacheHits++
 		if in.rec != nil {
 			in.rec.Emit(trace.KCacheHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
 		}
@@ -68,7 +68,7 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 			if locked {
 				vm.cacheLock.ReleaseRead(in.p)
 			}
-			vm.stats.CacheHits++
+			in.stats.CacheHits++
 			if in.rec != nil {
 				in.rec.Emit(trace.KCacheHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
 			}
@@ -78,7 +78,7 @@ func (in *Interp) lookup(class, selector object.OOP) (object.OOP, int, bool) {
 	if locked {
 		vm.cacheLock.ReleaseRead(in.p)
 	}
-	vm.stats.CacheMisses++
+	in.stats.CacheMisses++
 	if in.rec != nil {
 		in.rec.Emit(trace.KCacheMiss, in.p.ID(), int64(in.p.Now()), 0, 0, in.selName(selector))
 	}
@@ -110,7 +110,7 @@ func (in *Interp) walkLookup(class, selector object.OOP) (object.OOP, bool) {
 	c := in.costs
 	for cls := class; cls != object.Nil; cls = h.Fetch(cls, ClsSuperclass) {
 		in.p.Advance(c.LookupPerDict)
-		vm.stats.DictProbes++
+		in.stats.DictProbes++
 		dict := h.Fetch(cls, ClsMethodDict)
 		if m, ok := vm.methodDictLookup(dict, selector); ok {
 			return m, true
@@ -149,7 +149,7 @@ func (vm *VM) methodDictLookup(dict, selector object.OOP) (object.OOP, bool) {
 // which identifies the send site for the inline-cache layer.
 func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 	vm := in.vm
-	vm.stats.Sends++
+	in.stats.Sends++
 	if in.rec != nil {
 		in.rec.Emit(trace.KSend, in.p.ID(), int64(in.p.Now()), int64(nargs), 0, in.selName(selector))
 	}
@@ -176,13 +176,13 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 			if site := &in.icm.sites[si]; !site.mega {
 				in.p.Advance(in.costs.ICProbe)
 				if m, p, ok := site.probe(class); ok {
-					vm.stats.ICHits++
+					in.stats.ICHits++
 					if in.rec != nil {
 						in.rec.Emit(trace.KICHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
 					}
 					method, prim, hit = m, p, true
 				} else {
-					vm.stats.ICMisses++
+					in.stats.ICMisses++
 					if in.rec != nil {
 						in.rec.Emit(trace.KICMiss, in.p.ID(), int64(in.p.Now()), 0, 0, in.selName(selector))
 					}
@@ -203,7 +203,7 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 		}
 	}
 	if prim > 0 {
-		vm.stats.Primitives++
+		in.stats.Primitives++
 		if in.rec != nil {
 			in.rec.Emit(trace.KPrimitive, in.p.ID(), int64(in.p.Now()), int64(prim), 0, "")
 		}
@@ -211,7 +211,7 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 		if in.callPrimitive(prim, nargs) {
 			return
 		}
-		vm.stats.PrimFailures++
+		in.stats.PrimFailures++
 	}
 	in.activateMethod(method, nargs)
 }
@@ -219,11 +219,13 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 // sendDNU converts the failed message into doesNotUnderstand: aMessage.
 func (in *Interp) sendDNU(selector object.OOP, nargs int) {
 	vm := in.vm
-	vm.stats.DNUs++
+	in.stats.DNUs++
+	vm.hostMu.Lock()
 	if len(vm.errors) < 100 { // diagnostic log; DNU may be handled deliberately
 		vm.errors = append(vm.errors, "doesNotUnderstand: #"+vm.SymbolName(selector)+
 			" sent to "+vm.DescribeOOP(in.stackAt(nargs)))
 	}
+	vm.hostMu.Unlock()
 	hs := vm.H.Handles(in.p)
 	defer hs.Close()
 	selH := hs.Add(selector)
@@ -391,7 +393,7 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 			in.freeSmall = append(in.freeSmall, ctx)
 		}
 	}
-	vm.stats.ContextsRecycled++
+	in.stats.ContextsRecycled++
 	if in.rec != nil {
 		in.rec.Emit(trace.KCtxRecycle, in.p.ID(), int64(in.p.Now()), 0, 0, "")
 	}
@@ -434,7 +436,7 @@ func (in *Interp) allocContext(large bool) object.OOP {
 	if large {
 		slots = LargeCtxSlots
 	}
-	vm.stats.ContextsAlloc++
+	in.stats.ContextsAlloc++
 	if in.rec != nil {
 		in.rec.Emit(trace.KCtxAlloc, in.p.ID(), int64(in.p.Now()), 0, 0, "")
 	}

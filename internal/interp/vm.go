@@ -17,6 +17,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mst/internal/display"
 	"mst/internal/firefly"
@@ -113,6 +114,11 @@ type Config struct {
 	// PanicOnVMError makes internal VM errors panic (tests); otherwise
 	// they are recorded and the offending Process is terminated.
 	PanicOnVMError bool
+	// Parallel prepares the VM for parallel host mode (the machine's
+	// SetParallel): per-interpreter statistics are read locally by the
+	// stat primitive, symbol interning allocates outside the intern
+	// mutex, and idle interpreters yield the OS thread.
+	Parallel bool
 }
 
 // DefaultConfig returns the MS production configuration.
@@ -327,6 +333,29 @@ type Stats struct {
 	VMErrors         uint64
 }
 
+// add accumulates o into s (used to sum the per-interpreter counters).
+func (s *Stats) add(o *Stats) {
+	s.Bytecodes += o.Bytecodes
+	s.Sends += o.Sends
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.ICHits += o.ICHits
+	s.ICMisses += o.ICMisses
+	s.ICFills += o.ICFills
+	s.ICPolySites += o.ICPolySites
+	s.ICMegaSites += o.ICMegaSites
+	s.DictProbes += o.DictProbes
+	s.DNUs += o.DNUs
+	s.Primitives += o.Primitives
+	s.PrimFailures += o.PrimFailures
+	s.ContextsAlloc += o.ContextsAlloc
+	s.ContextsRecycled += o.ContextsRecycled
+	s.ProcessSwitches += o.ProcessSwitches
+	s.SemWaits += o.SemWaits
+	s.SemSignals += o.SemSignals
+	s.VMErrors += o.VMErrors
+}
+
 // VM is the shared virtual machine state: one heap, one scheduler, one
 // image, and one interpreter per virtual processor.
 type VM struct {
@@ -389,6 +418,20 @@ type VM struct {
 	// off), cached like each interpreter's rec.
 	san *sanitize.Checker
 
+	// par mirrors Cfg.Parallel. The three host mutexes below are pure
+	// host machinery (they never touch virtual time, so the sanitizer's
+	// determinism sentinel holds); they exist because in parallel host
+	// mode the interpreters really do run concurrently. Their critical
+	// sections are brief and never allocate — allocation can stop the
+	// world, and a processor blocked on a host mutex is not at a
+	// safepoint, so allocating under one would deadlock the rendezvous.
+	par    bool
+	hostMu sync.Mutex // evaluation rendezvous (evalProc/Result/Done/Failed, dead), errors
+	devMu  sync.Mutex // delays, inputQueue
+	symMu  sync.Mutex // symbolList, symbolIdx
+
+	// stats holds only VM-level counters (VMErrors); the per-activity
+	// counters live on each Interp and are summed by Stats().
 	stats  Stats
 	errors []string
 }
@@ -418,6 +461,7 @@ func New(m *firefly.Machine, h *heap.Heap, cfg Config) *VM {
 		freeLock:  m.NewSpinlock("free-contexts", cfg.MSMode && cfg.FreeContexts == FreeCtxSharedLocked),
 		symbolIdx: map[string]int{},
 		san:       m.Sanitizer(),
+		par:       cfg.Parallel,
 	}
 	if cfg.MethodCache == CacheSharedLocked {
 		vm.sharedCache = new([cacheSize]mcEntry)
@@ -508,17 +552,31 @@ func visitSpecials(s *Specials, visit func(*object.OOP)) {
 	}
 }
 
-// Stats returns a snapshot of interpreter statistics.
-func (vm *VM) Stats() Stats { return vm.stats }
+// Stats returns a snapshot of interpreter statistics: the VM-level
+// counters plus the sum of every interpreter's replicated counters.
+// Callers read it while the machine is stopped.
+func (vm *VM) Stats() Stats {
+	s := vm.stats
+	for _, in := range vm.Interps {
+		s.add(&in.stats)
+	}
+	return s
+}
 
 // Errors returns VM-level error reports (empty in a healthy run).
-func (vm *VM) Errors() []string { return vm.errors }
+func (vm *VM) Errors() []string {
+	vm.hostMu.Lock()
+	defer vm.hostMu.Unlock()
+	return vm.errors
+}
 
 // vmError records an internal error; with PanicOnVMError it panics.
 func (vm *VM) vmError(format string, args ...interface{}) {
 	msg := fmt.Sprintf(format, args...)
+	vm.hostMu.Lock()
 	vm.stats.VMErrors++
 	vm.errors = append(vm.errors, msg)
+	vm.hostMu.Unlock()
 	if vm.Cfg.PanicOnVMError {
 		panic("interp: " + msg)
 	}
@@ -535,14 +593,29 @@ func (vm *VM) ClassOf(o object.OOP) object.OOP {
 }
 
 // InternSymbol returns the unique Symbol oop for name. MAY ALLOCATE on
-// first interning (and therefore may scavenge).
+// first interning (and therefore may scavenge). The symbol is allocated
+// *outside* symMu — allocation can stop the world, and a processor
+// blocked on symMu is not at a safepoint — so two processors racing on
+// the same fresh name may both allocate; the loser's copy is garbage
+// and the table keeps one winner. No safepoint lies between the
+// allocation and the table insert, so the raw oop cannot go stale.
 func (vm *VM) InternSymbol(p *firefly.Proc, name string) object.OOP {
+	vm.symMu.Lock()
 	if i, ok := vm.symbolIdx[name]; ok {
-		return vm.symbolList[i]
+		sym := vm.symbolList[i]
+		vm.symMu.Unlock()
+		return sym
 	}
+	vm.symMu.Unlock()
 	sym := vm.allocString(p, vm.Specials.Symbol, name)
-	vm.symbolIdx[name] = len(vm.symbolList)
-	vm.symbolList = append(vm.symbolList, sym)
+	vm.symMu.Lock()
+	if i, ok := vm.symbolIdx[name]; ok {
+		sym = vm.symbolList[i]
+	} else {
+		vm.symbolIdx[name] = len(vm.symbolList)
+		vm.symbolList = append(vm.symbolList, sym)
+	}
+	vm.symMu.Unlock()
 	return sym
 }
 

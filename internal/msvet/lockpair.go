@@ -11,7 +11,8 @@ import (
 //
 //  1. Lexically: a function (or method) that calls X.Acquire must call
 //     X.Release somewhere in the same declaration (likewise
-//     AcquireRead/ReleaseRead and AcquireWrite/ReleaseWrite, with
+//     AcquireRead/ReleaseRead, AcquireWrite/ReleaseWrite, and the
+//     parallel mode's StopTheWorld/ResumeTheWorld rendezvous, with
 //     TryAcquire pairing like Acquire). Catching the
 //     forgot-the-release-entirely bug.
 //  2. By path simulation: walking each function's statements with a
@@ -58,11 +59,33 @@ var LockpairAnalyzer = &Analyzer{
 }
 
 // releaseFor maps acquire method names to their release counterparts.
+// StopTheWorld is the parallel host mode's rendezvous: it parks every
+// other processor and MUST be undone by ResumeTheWorld, so it pairs
+// exactly like a lock acquire.
 var releaseFor = map[string]string{
 	"Acquire":      "Release",
 	"TryAcquire":   "Release",
 	"AcquireRead":  "ReleaseRead",
 	"AcquireWrite": "ReleaseWrite",
+	"StopTheWorld": "ResumeTheWorld",
+}
+
+// condAcquire marks the acquire methods that return a bool and only
+// take the lock when it is true: TryAcquire, and StopTheWorld (false
+// means another processor won the race and stopped the world first —
+// the caller must NOT resume).
+var condAcquire = map[string]bool{
+	"TryAcquire":   true,
+	"StopTheWorld": true,
+}
+
+// isRelease recognizes the release-side method names.
+func isRelease(method string) bool {
+	switch method {
+	case "Release", "ReleaseRead", "ReleaseWrite", "ResumeTheWorld":
+		return true
+	}
+	return false
 }
 
 // lockCall decomposes a call expression into (receiver key, method);
@@ -98,8 +121,7 @@ func checkLexicalPairs(pass *Pass, fd *ast.FuncDecl) {
 			key := recv + "#" + rel
 			acquires[key] = append(acquires[key], site{pos: call, recv: recv})
 		}
-		switch method {
-		case "Release", "ReleaseRead", "ReleaseWrite":
+		if isRelease(method) {
 			releases[recv+"#"+method] = true
 		}
 		return true
@@ -233,11 +255,8 @@ func (s *lockSim) simStmt(state lockState, stmt ast.Stmt) bool {
 	case *ast.DeferStmt:
 		// A deferred release covers every exit: drop the lock from the
 		// state entirely.
-		if recv, method, ok := lockCall(st.Call); ok {
-			switch method {
-			case "Release", "ReleaseRead", "ReleaseWrite":
-				delete(state, recv+"#"+method)
-			}
+		if recv, method, ok := lockCall(st.Call); ok && isRelease(method) {
+			delete(state, recv+"#"+method)
 		}
 		return false
 	case *ast.BlockStmt:
@@ -274,21 +293,21 @@ func (s *lockSim) applyCall(state lockState, call *ast.CallExpr, definite bool) 
 	}
 	if rel, isAcq := releaseFor[method]; isAcq {
 		v := heldDefinite
-		if !definite || method == "TryAcquire" {
+		if !definite || condAcquire[method] {
 			v = heldMaybe
 		}
 		state[recv+"#"+rel] = v
 		return
 	}
-	switch method {
-	case "Release", "ReleaseRead", "ReleaseWrite":
+	if isRelease(method) {
 		delete(state, recv+"#"+method)
 	}
 }
 
-// simIf handles if statements, with special cases for the TryAcquire
-// idioms `if !X.TryAcquire(p) { ...bail... }` and
-// `if X.TryAcquire(p) { ...locked section... }`.
+// simIf handles if statements, with special cases for the conditional
+// acquires (TryAcquire, StopTheWorld): `if !X.TryAcquire(p) {
+// ...bail... }` and `if X.TryAcquire(p) { ...locked section... }` —
+// the heap's `if !m.StopTheWorld(p) { return }` is the same shape.
 func (s *lockSim) simIf(state lockState, st *ast.IfStmt) bool {
 	if st.Init != nil {
 		s.simStmt(state, st.Init)
@@ -300,8 +319,8 @@ func (s *lockSim) simIf(state lockState, st *ast.IfStmt) bool {
 		cond, negated = u.X, true
 	}
 	if call, ok := cond.(*ast.CallExpr); ok {
-		if recv, method, isLock := lockCall(call); isLock && method == "TryAcquire" {
-			key := recv + "#Release"
+		if recv, method, isLock := lockCall(call); isLock && condAcquire[method] {
+			key := recv + "#" + releaseFor[method]
 			if negated {
 				// if !X.TryAcquire: then-branch runs unlocked; the
 				// fall-through (and else) path holds the lock.

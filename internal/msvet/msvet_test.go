@@ -243,6 +243,58 @@ func f(l *Spinlock, m *Machine) {
 	}
 }
 
+func TestLockpairFlagsStopTheWorldWithoutResume(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/heap", map[string]string{
+		"bad.go": `package heap
+func f(m *Machine, p *Proc) {
+	m.StopTheWorld(p)
+	work()
+}
+`,
+	})
+	// Lexical only: the bool result makes the path state maybe-held.
+	wantFindings(t, got, 1, "never released")
+}
+
+func TestLockpairFlagsWorldStoppedOnOnePath(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/heap", map[string]string{
+		"bad.go": `package heap
+func f(m *Machine, p *Proc, cond bool) {
+	if !m.StopTheWorld(p) {
+		return
+	}
+	if cond {
+		return // BUG: the world is still stopped
+	}
+	m.ResumeTheWorld(p)
+}
+`,
+	})
+	wantFindings(t, got, 1, "still held")
+}
+
+func TestLockpairStopTheWorldCleanPatterns(t *testing.T) {
+	got := runOn(t, LockpairAnalyzer, "internal/heap", map[string]string{
+		"ok.go": `package heap
+func deferred(m *Machine, p *Proc) {
+	if !m.StopTheWorld(p) {
+		return
+	}
+	defer m.ResumeTheWorld(p)
+	work()
+}
+func straightline(m *Machine, p *Proc) {
+	if !m.StopTheWorld(p) {
+		return
+	}
+	work()
+	m.ResumeTheWorld(p)
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
 // ---- traceguard ----
 
 func TestTraceguardFlagsUnguardedHook(t *testing.T) {
@@ -317,6 +369,27 @@ func f(h *Heap, p *Proc, cond bool) {
 		work() // no return: the guard proves nothing below
 	}
 	h.san.OnAccess(p.ID(), 0, "eden")
+}
+`,
+	})
+	wantFindings(t, got, 1, "not nil-guarded")
+}
+
+func TestTraceguardCoversParallelDriver(t *testing.T) {
+	// The parallel driver (real goroutine processors) emits into the
+	// sharded recorder through the same nil-guarded field; an unguarded
+	// emission in the park/stop paths must still be flagged.
+	got := runOn(t, TraceguardAnalyzer, "internal/firefly", map[string]string{
+		"ok.go": `package firefly
+func parkStop(m *Machine, p *Proc) {
+	if r := m.rec; r != nil {
+		r.Emit(trace.KQuantumEnd, p.id, int64(p.clock), 0, 0, "")
+	}
+}
+`,
+		"bad.go": `package firefly
+func parSlow(m *Machine, p *Proc) {
+	m.rec.Emit(trace.KQuantumStart, p.id, int64(p.clock), 0, 0, "")
 }
 `,
 	})

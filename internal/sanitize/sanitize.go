@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind classifies one sanitizer violation.
@@ -122,11 +123,14 @@ type orderWitness struct {
 	at   int64
 }
 
-// Checker is the mscheck run-time state. It is not synchronized: the
-// simulator's baton protocol guarantees a single writer at a time
-// (exactly like trace.Recorder), and readers run while the machine is
-// parked.
+// Checker is the mscheck run-time state. A host-side mutex makes every
+// hook safe to call from any goroutine: the deterministic baton mode
+// has a single writer anyway (the lock is never contended there), and
+// parallel host mode feeds the checker from all processors at once.
+// The mutex is pure host machinery — it never charges virtual time, so
+// the determinism sentinel still holds.
 type Checker struct {
+	mu         sync.Mutex
 	locks      map[string]bool   // lock name → enabled
 	guards     map[string]string // structure → guarding lock name
 	replicated map[string]bool   // replicated structure names seen
@@ -159,12 +163,16 @@ func New() *Checker {
 // structure it guards: the accesses are single-threaded by
 // construction, so the lockset rule does not apply.
 func (c *Checker) RegisterLock(name string, enabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.locks[name] = enabled
 }
 
 // RegisterGuard declares that the named shared structure is protected
 // by the named lock (a Table-3 serialization row).
 func (c *Checker) RegisterGuard(structure, lock string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.guards[structure] = lock
 }
 
@@ -181,6 +189,8 @@ func (c *Checker) report(v Violation) { c.violations = append(c.violations, v) }
 // OnAcquire records that proc now holds lock, validating against
 // double acquisition and recording pairwise acquisition order.
 func (c *Checker) OnAcquire(proc int, at int64, lock string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.lockEvents++
 	held := c.procHeld(proc)
 	for _, h := range *held {
@@ -201,6 +211,8 @@ func (c *Checker) OnAcquire(proc int, at int64, lock string) {
 
 // OnRelease records that proc dropped lock.
 func (c *Checker) OnRelease(proc int, at int64, lock string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.lockEvents++
 	held := c.procHeld(proc)
 	for i, h := range *held {
@@ -217,6 +229,8 @@ func (c *Checker) OnRelease(proc int, at int64, lock string) {
 // the accessing processor must hold the structure's guard, unless the
 // guard is a disabled (baseline) lock.
 func (c *Checker) OnAccess(proc int, at int64, structure string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.accessChecks++
 	lock, ok := c.guards[structure]
 	if !ok {
@@ -240,6 +254,8 @@ func (c *Checker) OnAccess(proc int, at int64, structure string) {
 // OnOwnedAccess validates an access to a replicated (per-processor)
 // structure: only the owning processor may touch it.
 func (c *Checker) OnOwnedAccess(proc, owner int, at int64, structure string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.accessChecks++
 	c.replicated[structure] = true
 	if proc != owner {
@@ -251,12 +267,16 @@ func (c *Checker) OnOwnedAccess(proc, owner int, at int64, structure string) {
 // ReportWriteBarrier records one write-barrier verifier finding (the
 // scan itself lives in internal/heap, which owns the memory).
 func (c *Checker) ReportWriteBarrier(proc int, at int64, detail string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.report(Violation{Kind: KindWriteBarrier, Proc: proc, At: at,
 		Structure: "remembered-set", Detail: detail})
 }
 
 // NoteBarrierScan accounts one verifier pass over words of old space.
 func (c *Checker) NoteBarrierScan(words uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.barrierScans++
 	c.barrierWords += words
 }
@@ -264,13 +284,23 @@ func (c *Checker) NoteBarrierScan(words uint64) {
 // Violations returns every event-ordered violation recorded so far
 // (deterministic: the simulation is deterministic and the checker is
 // fed from its single-threaded hook points).
-func (c *Checker) Violations() []Violation { return c.violations }
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violations
+}
 
 // LockOrderCycles detects cycles in the pairwise acquisition-order
 // graph and returns each one once, as a canonical "a -> b -> a"
 // string, in sorted order. The result is deterministic for a given
 // set of edges regardless of map iteration order.
 func (c *Checker) LockOrderCycles() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lockOrderCycles()
+}
+
+func (c *Checker) lockOrderCycles() []string {
 	// Adjacency with sorted neighbor lists for deterministic DFS.
 	adj := map[string][]string{}
 	nodes := map[string]bool{}
@@ -335,7 +365,9 @@ func canonicalCycle(cyc []string) string {
 // Clean reports whether the run finished with no violations and no
 // lock-order cycles.
 func (c *Checker) Clean() bool {
-	return len(c.violations) == 0 && len(c.LockOrderCycles()) == 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.violations) == 0 && len(c.lockOrderCycles()) == 0
 }
 
 // Stats summarizes how much checking a run performed; reports print
@@ -354,6 +386,12 @@ type Stats struct {
 
 // Stats returns the checker's work counters.
 func (c *Checker) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats()
+}
+
+func (c *Checker) stats() Stats {
 	return Stats{
 		Locks:        len(c.locks),
 		Guards:       len(c.guards),
@@ -363,15 +401,17 @@ func (c *Checker) Stats() Stats {
 		BarrierScans: c.barrierScans,
 		BarrierWords: c.barrierWords,
 		Violations:   len(c.violations),
-		OrderCycles:  len(c.LockOrderCycles()),
+		OrderCycles:  len(c.lockOrderCycles()),
 	}
 }
 
 // Report renders a deterministic human-readable summary: registered
 // locks and guards, work counters, then every violation and cycle.
 func (c *Checker) Report() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
-	st := c.Stats()
+	st := c.stats()
 	fmt.Fprintf(&b, "mscheck: %d locks, %d serialized structures, %d replicated structures\n",
 		st.Locks, st.Guards, st.Replicated)
 	fmt.Fprintf(&b, "mscheck: %d lock events, %d access checks, %d barrier scans (%d words)\n",
@@ -390,7 +430,7 @@ func (c *Checker) Report() string {
 		b.WriteString(g + "\n")
 	}
 
-	cycles := c.LockOrderCycles()
+	cycles := c.lockOrderCycles()
 	if len(c.violations) == 0 && len(cycles) == 0 {
 		b.WriteString("mscheck: clean (0 violations)\n")
 		return b.String()

@@ -17,7 +17,10 @@
 // determinism test asserts this invariant.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind classifies one flight-recorder event.
 type Kind uint8
@@ -91,10 +94,16 @@ type Event struct {
 // Recorder is the flight-recorder ring buffer. It is not synchronized:
 // the simulator's baton protocol guarantees a single writer at a time,
 // and readers (export, tests) run while the machine is parked.
+//
+// In parallel host mode that guarantee disappears, so a recorder can be
+// sharded (NewShardedRecorder): each virtual processor then owns a
+// private ring and emissions stay contention-free without a lock. The
+// shards are merged, ordered by virtual time, when events are read.
 type Recorder struct {
-	buf  []Event
-	mask uint64
-	n    uint64 // events ever emitted
+	buf    []Event
+	mask   uint64
+	n      uint64 // events ever emitted
+	shards []*Recorder
 }
 
 // DefaultRingSize is the event capacity used by the -trace CLI flags:
@@ -112,9 +121,38 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{buf: make([]Event, n), mask: uint64(n - 1)}
 }
 
+// NewShardedRecorder creates a recorder with one private ring per
+// virtual processor, for parallel host mode: each processor emits only
+// into its own shard, so recording needs no synchronization even with
+// every processor running on its own goroutine. capacity is the total
+// event budget, divided across the shards (each shard still gets the
+// NewRecorder minimum).
+func NewShardedRecorder(capacity, procs int) *Recorder {
+	if procs < 1 {
+		procs = 1
+	}
+	r := &Recorder{shards: make([]*Recorder, procs)}
+	for i := range r.shards {
+		r.shards[i] = NewRecorder(capacity / procs)
+	}
+	return r
+}
+
+// Sharded reports whether the recorder keeps per-processor rings.
+func (r *Recorder) Sharded() bool { return r.shards != nil }
+
 // Emit records one event, overwriting the oldest when the ring is full.
-// It never allocates.
+// It never allocates. On a sharded recorder the event goes to the
+// emitting processor's private ring.
 func (r *Recorder) Emit(k Kind, proc int, at, arg1, arg2 int64, str string) {
+	if r.shards != nil {
+		s := r.shards[0]
+		if proc >= 0 && proc < len(r.shards) {
+			s = r.shards[proc]
+		}
+		s.Emit(k, proc, at, arg1, arg2, str)
+		return
+	}
 	e := &r.buf[r.n&r.mask]
 	e.At, e.Arg1, e.Arg2, e.Str, e.Proc, e.Kind = at, arg1, arg2, str, int32(proc), k
 	r.n++
@@ -122,6 +160,13 @@ func (r *Recorder) Emit(k Kind, proc int, at, arg1, arg2 int64, str string) {
 
 // Len returns how many events are currently held.
 func (r *Recorder) Len() int {
+	if r.shards != nil {
+		total := 0
+		for _, s := range r.shards {
+			total += s.Len()
+		}
+		return total
+	}
 	if r.n < uint64(len(r.buf)) {
 		return int(r.n)
 	}
@@ -129,18 +174,66 @@ func (r *Recorder) Len() int {
 }
 
 // Total returns how many events were ever emitted.
-func (r *Recorder) Total() uint64 { return r.n }
+func (r *Recorder) Total() uint64 {
+	if r.shards != nil {
+		var total uint64
+		for _, s := range r.shards {
+			total += s.n
+		}
+		return total
+	}
+	return r.n
+}
 
 // Dropped returns how many events the ring overwrote.
 func (r *Recorder) Dropped() uint64 {
+	if r.shards != nil {
+		var total uint64
+		for _, s := range r.shards {
+			total += s.Dropped()
+		}
+		return total
+	}
 	if r.n <= uint64(len(r.buf)) {
 		return 0
 	}
 	return r.n - uint64(len(r.buf))
 }
 
-// Events returns the recorded events, oldest first.
+// Events returns the recorded events, oldest first. A sharded
+// recorder's per-processor rings are merged into one stream ordered by
+// (virtual time, processor), preserving each shard's emission order —
+// the export is deterministic for a given set of shard contents even
+// though the shards filled concurrently. Readers run only while the
+// machine is stopped.
 func (r *Recorder) Events() []Event {
+	if r.shards != nil {
+		type seqEvent struct {
+			e   Event
+			seq int
+		}
+		var all []seqEvent
+		for _, s := range r.shards {
+			for i, e := range s.Events() {
+				all = append(all, seqEvent{e, i})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			a, b := all[i], all[j]
+			if a.e.At != b.e.At {
+				return a.e.At < b.e.At
+			}
+			if a.e.Proc != b.e.Proc {
+				return a.e.Proc < b.e.Proc
+			}
+			return a.seq < b.seq
+		})
+		out := make([]Event, len(all))
+		for i, se := range all {
+			out[i] = se.e
+		}
+		return out
+	}
 	out := make([]Event, 0, r.Len())
 	start := uint64(0)
 	if r.n > uint64(len(r.buf)) {
@@ -152,5 +245,10 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Reset discards every recorded event (the ring keeps its capacity).
-func (r *Recorder) Reset() { r.n = 0 }
+// Reset discards every recorded event (the rings keep their capacity).
+func (r *Recorder) Reset() {
+	for _, s := range r.shards {
+		s.n = 0
+	}
+	r.n = 0
+}

@@ -273,3 +273,64 @@ func TestMetricsDerive(t *testing.T) {
 		t.Fatalf("CacheHitPct = %f", m.Interp.CacheHitPct)
 	}
 }
+
+func TestShardedRecorder(t *testing.T) {
+	r := NewShardedRecorder(8192, 4)
+	if !r.Sharded() {
+		t.Fatal("NewShardedRecorder not sharded")
+	}
+	// Interleave emissions across processors with overlapping times;
+	// the merged stream must come back ordered by (At, Proc) with each
+	// shard's own order preserved.
+	for i := 0; i < 50; i++ {
+		for proc := 3; proc >= 0; proc-- {
+			r.Emit(KSend, proc, int64(i), int64(proc), 0, "sel")
+		}
+	}
+	if r.Total() != 200 || r.Len() != 200 || r.Dropped() != 0 {
+		t.Fatalf("total=%d len=%d dropped=%d", r.Total(), r.Len(), r.Dropped())
+	}
+	ev := r.Events()
+	if len(ev) != 200 {
+		t.Fatalf("Events returned %d", len(ev))
+	}
+	for i, e := range ev {
+		wantAt, wantProc := int64(i/4), int32(i%4)
+		if e.At != wantAt || e.Proc != wantProc {
+			t.Fatalf("event %d = at %d proc %d, want at %d proc %d",
+				i, e.At, e.Proc, wantAt, wantProc)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("Reset did not clear the shards")
+	}
+}
+
+func TestShardedRecorderConcurrent(t *testing.T) {
+	const procs, per = 4, 5000
+	r := NewShardedRecorder(procs*8192, procs)
+	done := make(chan struct{})
+	for p := 0; p < procs; p++ {
+		go func(p int) {
+			for i := 0; i < per; i++ {
+				r.Emit(KCacheHit, p, int64(i), 0, 0, "")
+			}
+			done <- struct{}{}
+		}(p)
+	}
+	for p := 0; p < procs; p++ {
+		<-done
+	}
+	if r.Total() != procs*per {
+		t.Fatalf("total = %d, want %d", r.Total(), procs*per)
+	}
+	ev := r.Events()
+	last := make(map[int32]int64)
+	for _, e := range ev {
+		if prev, ok := last[e.Proc]; ok && e.At < prev {
+			t.Fatalf("proc %d events out of order: %d after %d", e.Proc, e.At, prev)
+		}
+		last[e.Proc] = e.At
+	}
+}
