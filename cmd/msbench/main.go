@@ -9,6 +9,8 @@
 //	msbench -ablation alloc        §4:   replicated allocation areas
 //	msbench -ablation scavenge     §3.1: k·s eden scaling, ~3% GC share
 //	msbench -ablation inlinecache  extension: send-site MIC/PIC vs method cache
+//	msbench -ablation parscavenge  extension: cooperative parallel scavenging
+//	                           at 1/2/4/8 simulated processors vs serial
 //	msbench -json results.json     machine-readable Table 2 + IC ablation
 //	msbench -trace out.json    flight-record one busy benchmark; export
 //	                           Chrome trace-event JSON for ui.perfetto.dev
@@ -46,7 +48,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 matrix")
 	figure2 := flag.Bool("figure2", false, "run Table 2 and print it normalized (Figure 2)")
 	table3 := flag.Bool("table3", false, "print Table 3 (strategy applications)")
-	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache")
+	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge")
 	jsonPath := flag.String("json", "", "write machine-readable results (Table 2 + inline-cache ablation) to this file")
 	sweep := flag.Bool("sweep", false, "processor sweep (extension: busy overhead vs processor count)")
 	micro := flag.Bool("micro", false, "micro benchmark suite (extension: per-operation static costs)")
@@ -107,6 +109,10 @@ func main() {
 			a, err := bench.RunInlineCacheAblation()
 			check(err)
 			fmt.Println(a.Format())
+		case "parscavenge":
+			a, err := bench.RunParScavengeAblation()
+			check(err)
+			fmt.Println(bench.FormatParScavenge(a))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
 			os.Exit(2)
@@ -116,7 +122,7 @@ func main() {
 		runAblation(*ablation)
 	}
 	if *all {
-		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache"} {
+		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge"} {
 			fmt.Fprintf(os.Stderr, "running ablation %s...\n", name)
 			runAblation(name)
 		}

@@ -16,6 +16,9 @@
 //	                                 virtual processors run on real
 //	                                 goroutines (results match, virtual
 //	                                 times become schedule-dependent)
+//	mst -parscavenge -e "..."        cooperative parallel scavenging:
+//	                                 every processor copies survivors
+//	                                 during the stop-the-world window
 //	echo "Smalltalk allClasses size" | mst
 package main
 
@@ -42,6 +45,7 @@ func main() {
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile after evaluation")
 	sanFlag := flag.Bool("sanitize", false, "attach the mscheck invariant sanitizer; report violations and exit non-zero on any")
 	parallel := flag.Bool("parallel", false, "true-parallel host mode: run virtual processors on real goroutines (wall-clock scheduling; virtual times become host-schedule-dependent)")
+	parScav := flag.Bool("parscavenge", false, "cooperative parallel scavenging: all processors copy survivors during the stop-the-world window (works in both the deterministic and -parallel modes)")
 	flag.Parse()
 
 	cfg := mst.DefaultConfig()
@@ -70,6 +74,7 @@ func main() {
 	cfg.Profile = *profile
 	cfg.Sanitize = *sanFlag
 	cfg.Parallel = *parallel
+	cfg.ParScavenge = *parScav
 	sys, err := mst.NewSystem(cfg)
 	check(err)
 	defer sys.Shutdown()

@@ -158,6 +158,65 @@ func TestGoldenSanitizeInvariance(t *testing.T) {
 	}
 }
 
+// TestGoldenParScavengeOff: with the parallel scavenger compiled in
+// but disabled (the default), every standard state must reproduce the
+// golden virtual times bit-for-bit while still scavenging through the
+// restructured Scavenge path — proving the ParScavenge branch and the
+// serial extraction left the modeled machine untouched. An explicit
+// ParScavenge=false config must match the implicit default exactly.
+func TestGoldenParScavengeOff(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(explicitOff bool) outcome {
+				s := st
+				if explicitOff {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.ParScavenge = false
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := goldenVMS[st.Name][b]; vms != want {
+						t.Errorf("%s %s: vms = %d, want golden %d", st.Name, b, vms, want)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				return o
+			}
+			implicit, explicit := run(false), run(true)
+			if !reflect.DeepEqual(implicit, explicit) {
+				t.Errorf("%s: explicit ParScavenge=false diverges from the default:\ndefault:  %+v\nexplicit: %+v",
+					st.Name, implicit, explicit)
+			}
+			if implicit.stats.Heap.Scavenges == 0 {
+				t.Errorf("%s: no scavenges ran; the serial path went unexercised", st.Name)
+			}
+			if implicit.stats.Heap.ParScavenges != 0 {
+				t.Errorf("%s: parallel scavenges ran in a default config (%d); the feature must be off",
+					st.Name, implicit.stats.Heap.ParScavenges)
+			}
+		})
+	}
+}
+
 func TestGoldenDeterminism(t *testing.T) {
 	for _, st := range bench.StandardStates() {
 		st := st

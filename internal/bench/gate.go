@@ -168,6 +168,32 @@ func RunGate(baseline, fresh *JSONReport, baselinePath string, tol float64) *Gat
 		gateExact(g, where, "ic_mega_sites", br.ICMegaSites, fr.ICMegaSites)
 	}
 
+	// Parallel-scavenge ablation rows, keyed by processor count. Every
+	// column but the derived speedup is deterministic.
+	if baseline.ParScavenge != nil {
+		freshPS := map[int]*ParScavRow{}
+		if fresh.ParScavenge != nil {
+			for i := range fresh.ParScavenge.Rows {
+				r := &fresh.ParScavenge.Rows[i]
+				freshPS[r.Procs] = r
+			}
+		}
+		for i := range baseline.ParScavenge.Rows {
+			br := &baseline.ParScavenge.Rows[i]
+			where := fmt.Sprintf("parscavenge/procs=%d", br.Procs)
+			fr, ok := freshPS[br.Procs]
+			if !ok {
+				g.fail(where, "ablation row missing from fresh run")
+				continue
+			}
+			gateExact(g, where, "serial_scavenge_ticks", br.SerialTicks, fr.SerialTicks)
+			gateExact(g, where, "parallel_scavenge_ticks", br.ParallelTicks, fr.ParallelTicks)
+			gateExact(g, where, "scavenges", br.Scavenges, fr.Scavenges)
+			gateExact(g, where, "copied_words", br.CopiedWords, fr.CopiedWords)
+			gateExact(g, where, "steals", br.Steals, fr.Steals)
+		}
+	}
+
 	// Host-time drift, on normalized ratios.
 	baseRatio, freshRatio := hostRatios(baseline), hostRatios(fresh)
 	keys := make([]string, 0, len(baseRatio))
@@ -255,5 +281,7 @@ func Fingerprint(r *JSONReport, w io.Writer) error {
 		cp.Sanitize = &san
 	}
 	cp.Parallel = nil // wall-clock by definition
+	// ParScavenge stays: its columns are virtual ticks and counters,
+	// deterministic by construction.
 	return cp.Write(w)
 }

@@ -60,6 +60,10 @@ type JSONReport struct {
 	// when it was requested (its wall-clock numbers are machine-bound,
 	// so it never participates in the gate or the fingerprint).
 	Parallel *ParallelReport `json:"parallel,omitempty"`
+	// ParScavenge is the parallel-scavenging ablation. Unlike the host
+	// sweep it is virtual-time deterministic, so it rides in the gate
+	// and the fingerprint.
+	ParScavenge *ParScavReport `json:"parscavenge,omitempty"`
 }
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
@@ -99,6 +103,12 @@ func RunJSONReport() (*JSONReport, error) {
 		return nil, err
 	}
 	r.Sanitize = san
+
+	ps, err := RunParScavengeAblation()
+	if err != nil {
+		return nil, err
+	}
+	r.ParScavenge = ps
 
 	ic, err := RunInlineCacheAblation()
 	if err != nil {

@@ -78,6 +78,13 @@ type Config struct {
 	// a sanitized run is bit-identical to an unsanitized one.
 	Sanitize bool
 
+	// ParScavenge enables the cooperative parallel scavenger: during the
+	// stop-the-world window every processor copies survivors through a
+	// per-worker buffer, feeding a work-stealing grey deque. Off by
+	// default; with it off the serial paper-faithful scavenger runs and
+	// every golden number is bit-identical.
+	ParScavenge bool
+
 	// Parallel runs the virtual processors on real goroutines after a
 	// deterministic boot: virtual spinlocks become CAS test-and-set
 	// words, scavenges stop the world via a safepoint rendezvous, and
@@ -199,6 +206,7 @@ func NewSystem(cfg Config) (*System, error) {
 		hcfg.Policy = cfg.Alloc
 	}
 	hcfg.Parallel = cfg.Parallel
+	hcfg.ParScavenge = cfg.ParScavenge
 	vcfg := interp.Config{
 		MSMode:           cfg.Mode == ModeMS,
 		MethodCache:      cfg.MethodCache,
@@ -371,6 +379,8 @@ func (s *System) Metrics() trace.Metrics {
 		TenuredObjects:    hs.TenuredObjects,
 		TenuredWords:      hs.TenuredWords,
 		StoreChecks:       hs.StoreChecks,
+		ParScavenges:      hs.ParScavenges,
+		ScavengeSteals:    hs.ScavengeSteals,
 		ScavengeTicks:     int64(hs.ScavengeTime),
 		LastSurvivors:     hs.LastSurvivors,
 		RememberedPeak:    hs.RememberedPeak,

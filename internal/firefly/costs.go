@@ -40,6 +40,13 @@ type Costs struct {
 	ScavengePerObject Time // per surviving object
 	ScavengePerWord   Time // per surviving word copied
 
+	// Parallel scavenging (heap Config.ParScavenge): the cooperative
+	// copying workers pay for their coordination traffic in addition to
+	// the per-object/per-word copy costs above.
+	ScavengeSteal Time // stealing one grey object from another worker's deque
+	ScavengeChunk Time // carving a copy-buffer chunk from a shared space
+	ScavengeTerm  Time // the termination-detection barrier before the world resumes
+
 	// Devices.
 	DisplayOp Time // posting one command to the display output queue
 	InputOp   Time // transferring one input event from the device
@@ -82,6 +89,10 @@ func DefaultCosts() Costs {
 		ScavengeBase:      400,
 		ScavengePerObject: 3,
 		ScavengePerWord:   1,
+
+		ScavengeSteal: 8,
+		ScavengeChunk: 12,
+		ScavengeTerm:  60,
 
 		DisplayOp: 40,
 		InputOp:   15,

@@ -301,6 +301,14 @@ type Machine struct {
 	stwEnd      Time // virtual end time of the last stop-the-world pause
 	shutdownPar bool
 
+	// GC-assist handoff (RunStopped): while the world is stopped the
+	// owner may publish a worker function; processors parked at the
+	// rendezvous pick it up once per generation instead of idling.
+	gcAssist        func(*Proc)
+	gcAssistGen     uint64
+	gcAssistSeen    []uint64 // per processor: last assist generation joined
+	gcAssistRunning int      // processors currently inside the assist function
+
 	// parFlag is the parallel safepoint fast path: true whenever any
 	// processor must divert into parSlow (stop requested, world being
 	// stopped, or shutdown).
@@ -322,6 +330,7 @@ func New(n int, costs Costs) *Machine {
 	for i := 0; i < n; i++ {
 		m.procs = append(m.procs, &Proc{id: i, m: m, resume: make(chan struct{})})
 	}
+	m.gcAssistSeen = make([]uint64, n)
 	return m
 }
 

@@ -75,6 +75,15 @@ type Config struct {
 	// scavenger stops the world through the machine's rendezvous
 	// barrier instead of assuming the baton protocol stopped it.
 	Parallel bool
+	// ParScavenge enables the parallel generation scavenger: during the
+	// stop-the-world window every processor cooperatively copies
+	// survivors from per-processor work-stealing deques into
+	// per-processor copy buffers, with CAS-claimed forwarding pointers.
+	// In deterministic mode the parallel scan is simulated (scavenge
+	// wall time = max over workers of their charged copy costs); in
+	// parallel host mode the deques and the forwarding CAS are real.
+	// Off by default: the paper serializes GC (Table 3).
+	ParScavenge bool
 }
 
 // DefaultConfig returns a config mirroring the paper's memory setup,
@@ -115,6 +124,8 @@ type Stats struct {
 	TenuredObjects    uint64
 	TenuredWords      uint64
 	StoreChecks       uint64 // taken store checks (entry-table recordings)
+	ParScavenges      uint64 // scavenges run by the parallel scavenger
+	ScavengeSteals    uint64 // grey objects stolen between scavenge workers
 	ScavengeTime      firefly.Time
 	LastSurvivors     uint64 // words surviving the most recent scavenge
 	RememberedPeak    int
@@ -157,6 +168,17 @@ type Heap struct {
 	inGC    bool
 	to      *space
 	oldScan uint64
+
+	// gcMu serializes copy-buffer chunk carving from the shared spaces
+	// during a parallel host-mode scavenge. Host machinery only: the
+	// virtual cost of a refill is charged separately (ScavengeChunk).
+	gcMu sync.Mutex
+
+	// scavDelay, when non-nil, is called by each parallel-scavenge
+	// worker as it joins the drain loop. Test hook: the
+	// schedule-exploration test injects per-worker host delays through
+	// it to perturb the work-stealing interleaving.
+	scavDelay func(worker int)
 
 	hashSeed uint32
 	// hashMu serializes lazy identity-hash assignment in parallel mode

@@ -16,9 +16,23 @@ import (
 // every processor's rooted object alive across the copy, and leave the
 // heap structurally sound.
 func TestParallelScavengeRendezvous(t *testing.T) {
+	testParallelRendezvous(t, false)
+}
+
+// The same rendezvous workload with the cooperative parallel scavenger
+// engaged: scavenges are triggered by whichever processor fills eden,
+// and the parked processors join the copy through the GC-assist
+// handoff. Under -race this exercises the claim/publish protocol with
+// genuinely concurrent workers.
+func TestParallelScavengeRendezvousParScavenge(t *testing.T) {
+	testParallelRendezvous(t, true)
+}
+
+func testParallelRendezvous(t *testing.T, parScav bool) {
 	const procs, iters, fields = 4, 400, 8
 	cfg := smallConfig()
 	cfg.Parallel = true
+	cfg.ParScavenge = parScav
 	m := firefly.New(procs, firefly.DefaultCosts())
 	h := New(m, cfg)
 

@@ -52,6 +52,46 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 	to := &h.surv[1-h.past]
 	to.next = to.base
 	h.to = to
+
+	// Phases 1–3 and their cost accounting: serial Cheney scan, or the
+	// cooperative parallel copy (parscavenge.go).
+	if h.cfg.ParScavenge {
+		h.parScavenge(p, start)
+	} else {
+		h.serialScavenge(p)
+	}
+
+	objs := h.stats.CopiedObjects - objsBefore
+	words := h.stats.CopiedWords - wordsBefore
+
+	// Phase 4: flip. Eden and the old past-survivor space are free.
+	h.eden.next = h.eden.base
+	h.surv[h.past].next = h.surv[h.past].base
+	h.past = 1 - h.past
+	h.resetTLABs()
+	h.to = nil
+
+	h.stats.Scavenges++
+	h.stats.LastSurvivors = words
+	h.stats.ScavengeTime += p.Now() - start
+	if h.rec != nil {
+		h.rec.Emit(trace.KScavengeEnd, p.ID(), int64(p.Now()), int64(objs), int64(words), "")
+	}
+	h.verifyWriteBarrier(p)
+
+	for _, f := range h.postGC {
+		f()
+	}
+}
+
+// serialScavenge is the paper's single-scavenger path: phases 1–3 of
+// the collection plus the cost accounting (the scavenger pays base +
+// per-object + per-word; every other processor stalls until it
+// finishes). The caller has already reset h.to.
+func (h *Heap) serialScavenge(p *firefly.Proc) {
+	objsBefore := h.stats.CopiedObjects
+	wordsBefore := h.stats.CopiedWords
+	to := h.to
 	h.oldScan = h.old.next
 
 	// Phase 1: forward the roots.
@@ -105,15 +145,6 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 		}
 	}
 
-	// Phase 4: flip. Eden and the old past-survivor space are free.
-	h.eden.next = h.eden.base
-	h.surv[h.past].next = h.surv[h.past].base
-	h.past = 1 - h.past
-	h.resetTLABs()
-	h.to = nil
-
-	// Accounting: the scavenger pays base + per-object + per-word; the
-	// other processors stall until it finishes.
 	objs := h.stats.CopiedObjects - objsBefore
 	words := h.stats.CopiedWords - wordsBefore
 	c := h.m.Costs()
@@ -121,18 +152,6 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 		c.ScavengePerObject*firefly.Time(objs) +
 		c.ScavengePerWord*firefly.Time(words))
 	h.m.StallOthers(p, p.Now())
-
-	h.stats.Scavenges++
-	h.stats.LastSurvivors = words
-	h.stats.ScavengeTime += p.Now() - start
-	if h.rec != nil {
-		h.rec.Emit(trace.KScavengeEnd, p.ID(), int64(p.Now()), int64(objs), int64(words), "")
-	}
-	h.verifyWriteBarrier(p)
-
-	for _, f := range h.postGC {
-		f()
-	}
 }
 
 // forward returns the new location of o, copying it out of from-space if

@@ -28,9 +28,26 @@ func (h *Heap) verifyWriteBarrier(p *firefly.Proc) {
 
 	// Live new space right after a scavenge: the (new) past survivor
 	// space up to its allocation frontier. Eden and the other semispace
-	// were just reclaimed.
+	// were just reclaimed. The parallel scavenger copies through
+	// per-worker buffers, so the space is not one contiguous prefix of
+	// survivors: retired buffers leave filler-capped gaps, and a bare
+	// range check would bless a pointer into a gap (or into the middle
+	// of an object). Walk the space once and admit only the start
+	// addresses of real (non-filler) objects.
 	live := h.surv[h.past]
-	liveNew := func(a uint64) bool { return a >= live.base && a < live.next }
+	starts := make(map[uint64]bool)
+	for a := live.base; a < live.next; {
+		hd := object.Header(h.mem[a])
+		size := hd.SizeWords()
+		if size < object.HeaderWords {
+			break // corrupt header; CheckInvariants reports the details
+		}
+		if !h.isScavFiller(a) {
+			starts[a] = true
+		}
+		a += uint64(size)
+	}
+	liveNew := func(a uint64) bool { return starts[a] }
 
 	inTable := make(map[object.OOP]bool, len(h.remembered))
 	for _, o := range h.remembered {

@@ -143,6 +143,12 @@ func (in *Interp) flushIC() {
 // root order decides to-space addresses, which decide method-cache
 // hashing and hence virtual timing. Go map iteration order would make
 // every IC-enabled run differ (the determinism CI job caught this).
+//
+// The parallel scavenger leans on the same contract: newParScav
+// (internal/heap/parscavenge.go) deals root slots round-robin across
+// its worker deques in visit order, so a stable visit order is what
+// makes the deterministic-mode work partition — and the simulated
+// scavenge times derived from it — reproducible.
 func (in *Interp) icVisitRoots(visit func(*object.OOP)) {
 	keys := make([]object.OOP, 0, len(in.ic))
 	for k := range in.ic {

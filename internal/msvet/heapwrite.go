@@ -15,11 +15,12 @@ import (
 // it that way.
 var heapwriteAllow = map[string]map[string]bool{
 	"internal/heap": {
-		"alloc.go":    true,
-		"fullgc.go":   true,
-		"heap.go":     true,
-		"scavenge.go": true,
-		"snapshot.go": true, // stop-the-world wholesale restore, collector-class
+		"alloc.go":       true,
+		"fullgc.go":      true,
+		"heap.go":        true,
+		"parscavenge.go": true, // the parallel collector's copy loop, collector-class
+		"scavenge.go":    true,
+		"snapshot.go":    true, // stop-the-world wholesale restore, collector-class
 	},
 }
 

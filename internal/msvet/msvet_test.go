@@ -434,6 +434,29 @@ func (h *Heap) move(dst, src uint64, n uint64) {
 	wantFindings(t, got, 0, "")
 }
 
+func TestHeapwriteParallelScavengerScope(t *testing.T) {
+	// The parallel scavenger's copy loop (parscavenge.go) is
+	// collector-class and allowlisted; its work-list file is pure
+	// bookkeeping and must stay free of heap word writes. A `.mem`
+	// write sneaking into worklist.go is still flagged.
+	got := runOn(t, HeapwriteAnalyzer, "internal/heap", map[string]string{
+		"parscavenge.go": `package heap
+func (h *Heap) publish(addr, dst uint64) {
+	h.mem[addr+1] = dst
+}
+`,
+		"worklist.go": `package heap
+func (w *worklist) stash(h *Heap, addr, v uint64) {
+	h.mem[addr] = v // BUG: work items must carry oops, not heap words
+}
+`,
+	})
+	wantFindings(t, got, 1, "store check")
+	if got[0].Pos.Filename != "worklist.go" {
+		t.Errorf("finding in %s, want worklist.go", got[0].Pos.Filename)
+	}
+}
+
 // ---- framework ----
 
 func TestFindingsSortedAndFormatted(t *testing.T) {

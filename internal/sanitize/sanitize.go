@@ -70,6 +70,13 @@ const (
 	// that bypassed the store check), or a dangling pointer into
 	// reclaimed new space left behind by such a store.
 	KindWriteBarrier
+	// KindGCClaim: the parallel scavenger's CAS-claimed forwarding
+	// discipline was broken — two workers both claimed the same object
+	// for copying, or a worker published a forwarding pointer for an
+	// object it never claimed. Claiming is the *reorganization* analogue
+	// of lock ownership: the winning CAS transfers the object to exactly
+	// one worker until it publishes the copy.
+	KindGCClaim
 )
 
 var kindNames = map[Kind]string{
@@ -80,6 +87,7 @@ var kindNames = map[Kind]string{
 	KindLockOrderCycle:   "lock-order-cycle",
 	KindForeignAccess:    "foreign-access",
 	KindWriteBarrier:     "write-barrier",
+	KindGCClaim:          "gc-claim",
 }
 
 func (k Kind) String() string {
@@ -136,6 +144,12 @@ type Checker struct {
 	replicated map[string]bool   // replicated structure names seen
 
 	held [][]string // per-proc ordered list of held lock names
+
+	// gcClaims maps a from-space object address to the parallel-scavenge
+	// worker that CAS-claimed it for copying. Populated between
+	// OnGCClaim and ResetGCClaims (scavenge end); from-space addresses
+	// are recycled by the next scavenge, so the table must be cleared.
+	gcClaims map[uint64]int
 
 	edges map[orderEdge]orderWitness
 
@@ -262,6 +276,49 @@ func (c *Checker) OnOwnedAccess(proc, owner int, at int64, structure string) {
 		c.report(Violation{Kind: KindForeignAccess, Proc: proc, At: at, Structure: structure,
 			Detail: fmt.Sprintf("replicated structure owned by processor %d", owner)})
 	}
+}
+
+// OnGCClaim records that parallel-scavenge worker proc won the CAS
+// claim on the object at addr. Two claims on the same address in one
+// scavenge mean the claim CAS failed to serialize the copiers.
+func (c *Checker) OnGCClaim(proc int, at int64, addr uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accessChecks++
+	if c.gcClaims == nil {
+		c.gcClaims = map[uint64]int{}
+	}
+	if prev, dup := c.gcClaims[addr]; dup {
+		c.report(Violation{Kind: KindGCClaim, Proc: proc, At: at, Structure: "forwarding-pointer",
+			Detail: fmt.Sprintf("object %#x claimed twice (first by processor %d)", addr, prev)})
+		return
+	}
+	c.gcClaims[addr] = proc
+}
+
+// OnGCPublish records that worker proc published the forwarding pointer
+// for the object at addr; it must be the worker that claimed it.
+func (c *Checker) OnGCPublish(proc int, at int64, addr uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accessChecks++
+	owner, ok := c.gcClaims[addr]
+	if !ok {
+		c.report(Violation{Kind: KindGCClaim, Proc: proc, At: at, Structure: "forwarding-pointer",
+			Detail: fmt.Sprintf("forwarding pointer for %#x published without a claim", addr)})
+		return
+	}
+	if owner != proc {
+		c.report(Violation{Kind: KindGCClaim, Proc: proc, At: at, Structure: "forwarding-pointer",
+			Detail: fmt.Sprintf("forwarding pointer for %#x published by processor %d, claimed by %d", addr, proc, owner)})
+	}
+}
+
+// ResetGCClaims clears the claim table at the end of a scavenge.
+func (c *Checker) ResetGCClaims() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gcClaims = nil
 }
 
 // ReportWriteBarrier records one write-barrier verifier finding (the

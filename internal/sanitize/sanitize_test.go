@@ -234,3 +234,68 @@ func TestReportCleanAndDirty(t *testing.T) {
 		t.Errorf("dirty report wrong:\n%s", r)
 	}
 }
+
+// ---- GC claim/publish (parallel scavenger forwarding protocol) ----
+
+func TestGCClaimPublishClean(t *testing.T) {
+	c := New()
+	c.OnGCClaim(0, 100, 0x4000)
+	c.OnGCClaim(1, 100, 0x4010)
+	c.OnGCPublish(0, 101, 0x4000)
+	c.OnGCPublish(1, 101, 0x4010)
+	if !c.Clean() {
+		t.Fatalf("clean claim/publish pairs reported violations: %v", c.Violations())
+	}
+}
+
+func TestGCDoubleClaim(t *testing.T) {
+	c := New()
+	c.OnGCClaim(0, 100, 0x4000)
+	c.OnGCClaim(2, 101, 0x4000)
+	got := kinds(c.Violations())
+	if !reflect.DeepEqual(got, []Kind{KindGCClaim}) {
+		t.Fatalf("violations = %v, want exactly [gc-claim]", got)
+	}
+	v := c.Violations()[0]
+	if v.Proc != 2 || !strings.Contains(v.Detail, "claimed twice") ||
+		!strings.Contains(v.Detail, "processor 0") {
+		t.Errorf("violation detail wrong: %+v", v)
+	}
+}
+
+func TestGCPublishWithoutClaim(t *testing.T) {
+	c := New()
+	c.OnGCPublish(1, 50, 0x4000)
+	if !reflect.DeepEqual(kinds(c.Violations()), []Kind{KindGCClaim}) {
+		t.Fatalf("violations = %v, want exactly [gc-claim]", c.Violations())
+	}
+	if !strings.Contains(c.Violations()[0].Detail, "without a claim") {
+		t.Errorf("violation detail wrong: %+v", c.Violations()[0])
+	}
+}
+
+func TestGCPublishByForeignProc(t *testing.T) {
+	c := New()
+	c.OnGCClaim(0, 50, 0x4000)
+	c.OnGCPublish(3, 51, 0x4000)
+	if !reflect.DeepEqual(kinds(c.Violations()), []Kind{KindGCClaim}) {
+		t.Fatalf("violations = %v, want exactly [gc-claim]", c.Violations())
+	}
+	if !strings.Contains(c.Violations()[0].Detail, "claimed by") {
+		t.Errorf("violation detail wrong: %+v", c.Violations()[0])
+	}
+}
+
+func TestGCClaimsResetBetweenScavenges(t *testing.T) {
+	c := New()
+	c.OnGCClaim(0, 100, 0x4000)
+	c.OnGCPublish(0, 101, 0x4000)
+	c.ResetGCClaims()
+	// A fresh scavenge may claim the same address again (new objects
+	// live there now).
+	c.OnGCClaim(1, 200, 0x4000)
+	c.OnGCPublish(1, 201, 0x4000)
+	if !c.Clean() {
+		t.Fatalf("claims across a reset reported violations: %v", c.Violations())
+	}
+}

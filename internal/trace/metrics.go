@@ -61,6 +61,8 @@ type HeapMetrics struct {
 	TenuredObjects    uint64 `json:"tenured_objects"`
 	TenuredWords      uint64 `json:"tenured_words"`
 	StoreChecks       uint64 `json:"store_checks"`
+	ParScavenges      uint64 `json:"par_scavenges"`
+	ScavengeSteals    uint64 `json:"scavenge_steals"`
 	ScavengeTicks     int64  `json:"scavenge_ticks"`
 	LastSurvivors     uint64 `json:"last_survivors"`
 	RememberedPeak    int    `json:"remembered_peak"`

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // Chrome trace-event / Perfetto export. The recorder's virtual-tick
@@ -169,6 +170,19 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 	// scavenge, which nests).
 	gcOpen := map[Kind]int64{KScavengeBegin: -1, KFullGCBegin: -1}
 
+	// Parallel-scavenge worker tracks nest under the gc process, one
+	// thread per worker (tid = 1 + worker, the collector keeps tid 0).
+	// Threads are declared lazily so serial traces stay unchanged.
+	scavWorkerSeen := map[int32]bool{}
+	scavWorkerOpen := map[int32]int64{}
+	scavWorkerTid := func(worker int32) int {
+		if !scavWorkerSeen[worker] {
+			scavWorkerSeen[worker] = true
+			b.thread(pidGC, 1+int(worker), "scavenge worker "+itoa(int(worker)))
+		}
+		return 1 + int(worker)
+	}
+
 	for i := range events {
 		e := &events[i]
 		pt := track(e.Proc)
@@ -245,6 +259,19 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 					map[string]any{"reclaimed_words": e.Arg1})
 				gcOpen[KFullGCBegin] = -1
 			}
+		case KScavWorkerBegin:
+			scavWorkerTid(e.Proc)
+			scavWorkerOpen[e.Proc] = e.At
+		case KScavWorkerEnd:
+			tid := scavWorkerTid(e.Proc)
+			if start, ok := scavWorkerOpen[e.Proc]; ok {
+				b.slice(pidGC, tid, "copy", start, e.At-start,
+					map[string]any{"objects": e.Arg1, "words": e.Arg2})
+				delete(scavWorkerOpen, e.Proc)
+			}
+		case KScavSteal:
+			b.instant(pidGC, scavWorkerTid(e.Proc), "steal", e.At,
+				map[string]any{"victim": e.Arg1})
 		case KEdenFull:
 			b.instant(pidGC, 0, "eden-full", e.At, map[string]any{"need_words": e.Arg1})
 		case KTenure:
@@ -286,6 +313,14 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 	}
 	if start := gcOpen[KFullGCBegin]; start >= 0 {
 		b.slice(pidGC, 0, "full-gc", start, maxTs-start, nil)
+	}
+	var openWorkers []int32
+	for w := range scavWorkerOpen {
+		openWorkers = append(openWorkers, w)
+	}
+	sort.Slice(openWorkers, func(i, j int) bool { return openWorkers[i] < openWorkers[j] })
+	for _, w := range openWorkers {
+		b.slice(pidGC, scavWorkerTid(w), "copy", scavWorkerOpen[w], maxTs-scavWorkerOpen[w], nil)
 	}
 
 	enc := json.NewEncoder(w)

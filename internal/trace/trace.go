@@ -58,6 +58,12 @@ const (
 	KDisplayOp // command posted to the display output queue
 	KInputOp   // input event transferred from the sensor
 
+	// Parallel-scavenge worker events (emitted by internal/heap when
+	// Config.ParScavenge is on). Proc is the worker's processor.
+	KScavWorkerBegin // worker joins the cooperative copy; Arg1 = steals
+	KScavWorkerEnd   // worker done; Arg1 = copied objects, Arg2 = copied words
+	KScavSteal       // worker stole a grey object; Arg1 = victim worker
+
 	numKinds
 )
 
@@ -69,6 +75,7 @@ var kindNames = [numKinds]string{
 	"send", "cache-hit", "cache-miss", "ic-hit", "ic-miss",
 	"process-switch", "primitive", "ctx-alloc", "ctx-recycle",
 	"display-op", "input-op",
+	"scav-worker-begin", "scav-worker-end", "scav-steal",
 }
 
 func (k Kind) String() string {
