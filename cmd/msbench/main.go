@@ -11,7 +11,11 @@
 //	msbench -ablation inlinecache  extension: send-site MIC/PIC vs method cache
 //	msbench -ablation parscavenge  extension: cooperative parallel scavenging
 //	                           at 1/2/4/8 simulated processors vs serial
+//	msbench -ablation jit      extension: msjit template tier vs interpreter,
+//	                           host speedup with bit-identical virtual times
 //	msbench -json results.json     machine-readable Table 2 + IC ablation
+//	msbench -jit               include the msjit ablation in -json, -gate,
+//	                           and -fingerprint runs
 //	msbench -trace out.json    flight-record one busy benchmark; export
 //	                           Chrome trace-event JSON for ui.perfetto.dev
 //	msbench -profile           selector-level virtual-time profile of the
@@ -48,7 +52,8 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 matrix")
 	figure2 := flag.Bool("figure2", false, "run Table 2 and print it normalized (Figure 2)")
 	table3 := flag.Bool("table3", false, "print Table 3 (strategy applications)")
-	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge")
+	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge|jit")
+	jitFlag := flag.Bool("jit", false, "include the msjit ablation in -json/-gate/-fingerprint runs")
 	jsonPath := flag.String("json", "", "write machine-readable results (Table 2 + inline-cache ablation) to this file")
 	sweep := flag.Bool("sweep", false, "processor sweep (extension: busy overhead vs processor count)")
 	micro := flag.Bool("micro", false, "micro benchmark suite (extension: per-operation static costs)")
@@ -113,6 +118,10 @@ func main() {
 			a, err := bench.RunParScavengeAblation()
 			check(err)
 			fmt.Println(bench.FormatParScavenge(a))
+		case "jit":
+			a, err := bench.RunJITAblation()
+			check(err)
+			fmt.Println(a.Format())
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
 			os.Exit(2)
@@ -122,7 +131,7 @@ func main() {
 		runAblation(*ablation)
 	}
 	if *all {
-		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge"} {
+		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge", "jit"} {
 			fmt.Fprintf(os.Stderr, "running ablation %s...\n", name)
 			runAblation(name)
 		}
@@ -192,7 +201,7 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "running json report...")
 		var err error
-		report, err = bench.RunJSONReport()
+		report, err = bench.RunJSONReport(*jitFlag)
 		check(err)
 		report.Parallel = par
 		if f != nil {

@@ -19,6 +19,10 @@
 //	mst -parscavenge -e "..."        cooperative parallel scavenging:
 //	                                 every processor copies survivors
 //	                                 during the stop-the-world window
+//	mst -jit -e "..."                msjit template tier: hot methods run
+//	                                 as pre-specialized closure arrays
+//	                                 (virtual times and results are
+//	                                 bit-identical to the interpreter)
 //	echo "Smalltalk allClasses size" | mst
 package main
 
@@ -46,6 +50,7 @@ func main() {
 	sanFlag := flag.Bool("sanitize", false, "attach the mscheck invariant sanitizer; report violations and exit non-zero on any")
 	parallel := flag.Bool("parallel", false, "true-parallel host mode: run virtual processors on real goroutines (wall-clock scheduling; virtual times become host-schedule-dependent)")
 	parScav := flag.Bool("parscavenge", false, "cooperative parallel scavenging: all processors copy survivors during the stop-the-world window (works in both the deterministic and -parallel modes)")
+	jitFlag := flag.Bool("jit", false, "msjit template tier: compile hot methods to pre-specialized closure arrays (bit-identical virtual behavior)")
 	flag.Parse()
 
 	cfg := mst.DefaultConfig()
@@ -75,6 +80,7 @@ func main() {
 	cfg.Sanitize = *sanFlag
 	cfg.Parallel = *parallel
 	cfg.ParScavenge = *parScav
+	cfg.JIT = *jitFlag
 	sys, err := mst.NewSystem(cfg)
 	check(err)
 	defer sys.Shutdown()
@@ -143,6 +149,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "icHits=%d icMisses=%d icFills=%d polySites=%d megaSites=%d\n",
 				st.Interp.ICHits, st.Interp.ICMisses, st.Interp.ICFills,
 				st.Interp.ICPolySites, st.Interp.ICMegaSites)
+		}
+		if st.Interp.JITCompiles+st.Interp.JITDeopts+st.Interp.JITBytecodes > 0 {
+			fmt.Fprintf(os.Stderr, "jitCompiles=%d jitDeopts=%d jitBytecodes=%d\n",
+				st.Interp.JITCompiles, st.Interp.JITDeopts, st.Interp.JITBytecodes)
 		}
 		fmt.Fprintf(os.Stderr, "allocs=%d scavenges=%d copiedWords=%d virtualTime=%v\n",
 			st.Heap.Allocations, st.Heap.Scavenges, st.Heap.CopiedWords, sys.VirtualTime())

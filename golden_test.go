@@ -250,3 +250,119 @@ func TestGoldenDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenJITOff: with the msjit template tier compiled in but
+// disabled (the default), every standard state must reproduce the
+// golden virtual times and counters bit-for-bit, and an explicit
+// JIT=false config must match the implicit default exactly — proving
+// the tier's hooks (loadContext, send-path split, flush points) left
+// the interpreted machine untouched.
+func TestGoldenJITOff(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(explicitOff bool) outcome {
+				s := st
+				if explicitOff {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.JIT = false
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := goldenVMS[st.Name][b]; vms != want {
+						t.Errorf("%s %s: vms = %d, want golden %d", st.Name, b, vms, want)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				return o
+			}
+			implicit, explicit := run(false), run(true)
+			if !reflect.DeepEqual(implicit, explicit) {
+				t.Errorf("%s: explicit JIT=false diverges from the default:\ndefault:  %+v\nexplicit: %+v",
+					st.Name, implicit, explicit)
+			}
+			if implicit.stats.Interp.JITCompiles != 0 || implicit.stats.Interp.JITBytecodes != 0 {
+				t.Errorf("%s: template tier active in a default config (compiles=%d bytecodes=%d); it must be off",
+					st.Name, implicit.stats.Interp.JITCompiles, implicit.stats.Interp.JITBytecodes)
+			}
+		})
+	}
+}
+
+// TestGoldenJITOn: the tier's whole contract in one test — with JIT on,
+// every standard state must still produce the golden virtual times and
+// a Stats snapshot bit-identical to the interpreted run except for the
+// tier's own three counters (which must show the compiler actually
+// ran). Compiled bytecodes charge through the same cost table at the
+// same points, so nothing else may move.
+func TestGoldenJITOn(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(jit bool) outcome {
+				s := st
+				if jit {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.JIT = true
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := goldenVMS[st.Name][b]; vms != want {
+						t.Errorf("%s %s (jit=%v): vms = %d, want golden %d", st.Name, b, jit, vms, want)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				return o
+			}
+			off, on := run(false), run(true)
+			if on.stats.Interp.JITCompiles == 0 || on.stats.Interp.JITBytecodes == 0 {
+				t.Errorf("%s: JIT run compiled nothing (compiles=%d bytecodes=%d)",
+					st.Name, on.stats.Interp.JITCompiles, on.stats.Interp.JITBytecodes)
+			}
+			neutral := on
+			neutral.stats.Interp.JITCompiles = 0
+			neutral.stats.Interp.JITDeopts = 0
+			neutral.stats.Interp.JITBytecodes = 0
+			if !reflect.DeepEqual(off, neutral) {
+				t.Errorf("%s: JIT on shifts virtual behavior:\noff: vms=%v stats=%+v\non:  vms=%v stats=%+v",
+					st.Name, off.vms, off.stats, on.vms, on.stats)
+			}
+		})
+	}
+}

@@ -194,6 +194,39 @@ func RunGate(baseline, fresh *JSONReport, baselinePath string, tol float64) *Gat
 		}
 	}
 
+	// The msjit ablation, keyed by workload. The virtual columns are
+	// deterministic and compared exactly; the host-side speedup is
+	// machine-bound, so instead of comparing it to the baseline the
+	// gate holds the fresh run to the absolute floor.
+	if baseline.JIT != nil {
+		freshJIT := map[string]*JITRow{}
+		if fresh.JIT != nil {
+			for i := range fresh.JIT.Rows {
+				r := &fresh.JIT.Rows[i]
+				freshJIT[r.Workload] = r
+			}
+		}
+		for i := range baseline.JIT.Rows {
+			br := &baseline.JIT.Rows[i]
+			where := "jit/" + br.Workload
+			fr, ok := freshJIT[br.Workload]
+			if !ok {
+				g.fail(where, "ablation row missing from fresh run")
+				continue
+			}
+			gateExact(g, where, "virtual_ms", br.VirtualMS, fr.VirtualMS)
+			gateExact(g, where, "jit_compiles", br.Compiles, fr.Compiles)
+			gateExact(g, where, "jit_deopts", br.Deopts, fr.Deopts)
+		}
+		if fresh.JIT != nil {
+			g.Host++
+			if fresh.JIT.MedianSpeedup < JITSpeedupFloor {
+				g.fail("jit/median_speedup", "template tier %.2fx, floor %.2fx",
+					fresh.JIT.MedianSpeedup, JITSpeedupFloor)
+			}
+		}
+	}
+
 	// Host-time drift, on normalized ratios.
 	baseRatio, freshRatio := hostRatios(baseline), hostRatios(fresh)
 	keys := make([]string, 0, len(baseRatio))
@@ -233,6 +266,11 @@ func gateMetrics(g *GateReport, state string, base, fresh *trace.Metrics) {
 	gateExact(g, w, "interp.dict_probes", base.Interp.DictProbes, fresh.Interp.DictProbes)
 	gateExact(g, w, "interp.primitives", base.Interp.Primitives, fresh.Interp.Primitives)
 	gateExact(g, w, "interp.process_switches", base.Interp.ProcessSwitches, fresh.Interp.ProcessSwitches)
+	// The standard states run with the template tier off, so these pin
+	// the default to zero: a tier that turns itself on shows up here.
+	gateExact(g, w, "interp.jit_compiles", base.Interp.JITCompiles, fresh.Interp.JITCompiles)
+	gateExact(g, w, "interp.jit_deopts", base.Interp.JITDeopts, fresh.Interp.JITDeopts)
+	gateExact(g, w, "interp.jit_bytecodes", base.Interp.JITBytecodes, fresh.Interp.JITBytecodes)
 	gateExact(g, w, "heap.allocations", base.Heap.Allocations, fresh.Heap.Allocations)
 	gateExact(g, w, "heap.allocated_words", base.Heap.AllocatedWords, fresh.Heap.AllocatedWords)
 	gateExact(g, w, "heap.scavenges", base.Heap.Scavenges, fresh.Heap.Scavenges)
@@ -283,5 +321,15 @@ func Fingerprint(r *JSONReport, w io.Writer) error {
 	cp.Parallel = nil // wall-clock by definition
 	// ParScavenge stays: its columns are virtual ticks and counters,
 	// deterministic by construction.
+	if r.JIT != nil {
+		jr := *r.JIT
+		jr.Rows = make([]JITRow, len(r.JIT.Rows))
+		for i, row := range r.JIT.Rows {
+			row.InterpNS, row.JITNS, row.Speedup = 0, 0, 0
+			jr.Rows[i] = row
+		}
+		jr.MedianSpeedup = 0
+		cp.JIT = &jr
+	}
 	return cp.Write(w)
 }

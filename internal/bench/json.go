@@ -64,12 +64,18 @@ type JSONReport struct {
 	// sweep it is virtual-time deterministic, so it rides in the gate
 	// and the fingerprint.
 	ParScavenge *ParScavReport `json:"parscavenge,omitempty"`
+	// JIT is the msjit ablation (msbench -jit): present only when
+	// requested. Its virtual columns (virtual_ms, compiles, deopts,
+	// compiled-bytecode share) are deterministic and ride in the gate
+	// and the fingerprint; the host nanoseconds and speedups are zeroed
+	// in the fingerprint like every other host time.
+	JIT *JITReport `json:"jit,omitempty"`
 }
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
 // time per benchmark, counters per state) and the inline-cache
-// ablation.
-func RunJSONReport() (*JSONReport, error) {
+// ablation. includeJIT adds the msjit ablation (msbench -jit).
+func RunJSONReport(includeJIT bool) (*JSONReport, error) {
 	r := &JSONReport{
 		Schema:        fmt.Sprintf("msbench/%d", trace.MetricsSchemaVersion),
 		SchemaVersion: trace.MetricsSchemaVersion,
@@ -109,6 +115,14 @@ func RunJSONReport() (*JSONReport, error) {
 		return nil, err
 	}
 	r.ParScavenge = ps
+
+	if includeJIT {
+		jr, err := RunJITAblation()
+		if err != nil {
+			return nil, err
+		}
+		r.JIT = jr
+	}
 
 	ic, err := RunInlineCacheAblation()
 	if err != nil {

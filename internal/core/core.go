@@ -85,6 +85,13 @@ type Config struct {
 	// every golden number is bit-identical.
 	ParScavenge bool
 
+	// JIT enables the msjit template tier: hot methods are compiled
+	// into arrays of pre-specialized closures under the inline caches.
+	// Off by default; compiled code charges the same virtual costs as
+	// the interpreter, so virtual times and goldens are bit-identical
+	// either way — only host time changes.
+	JIT bool
+
 	// Parallel runs the virtual processors on real goroutines after a
 	// deterministic boot: virtual spinlocks become CAS test-and-set
 	// words, scavenges stop the world via a safepoint rendezvous, and
@@ -216,6 +223,7 @@ func NewSystem(cfg Config) (*System, error) {
 		QuantumBytecodes: cfg.QuantumBytecodes,
 		PanicOnVMError:   true,
 		Parallel:         cfg.Parallel,
+		JIT:              cfg.JIT,
 	}
 	m := firefly.New(cfg.Processors, firefly.DefaultCosts())
 	if cfg.TimeLimit > 0 {
@@ -410,6 +418,9 @@ func (s *System) Metrics() trace.Metrics {
 		SemWaits:         is.SemWaits,
 		SemSignals:       is.SemSignals,
 		VMErrors:         is.VMErrors,
+		JITCompiles:      is.JITCompiles,
+		JITDeopts:        is.JITDeopts,
+		JITBytecodes:     is.JITBytecodes,
 	}
 	if r := m.Recorder(); r != nil {
 		mt.Trace = trace.TraceMetrics{Events: r.Total(), Dropped: r.Dropped()}

@@ -184,6 +184,15 @@ func (p *Proc) CheckYield() {
 	}
 }
 
+// YieldSlack is the virtual time left before CheckYield would fire. A
+// caller that will advance the clock strictly less than the slack can
+// skip its intermediate CheckYield safepoints exactly: below the
+// deadline they are pure no-ops, and nothing — scheduling, events, a
+// stop-the-world rendezvous — can observe the processor in between.
+// The compiled execution tier uses this to run fused bytecode groups
+// without per-bytecode safepoints.
+func (p *Proc) YieldSlack() Time { return p.yieldAt - p.clock }
+
 // Stats is a snapshot of one processor's time accounting.
 type ProcStats struct {
 	Busy  Time
@@ -290,9 +299,9 @@ type Machine struct {
 	parallel    bool
 	parMu       sync.Mutex
 	parCond     *sync.Cond
-	parReleased bool  // baton-parked goroutines released into free running
-	parkedStop  int   // procs parked waiting for the next Run
-	parkedSTW   int   // procs parked at a stop-the-world rendezvous
+	parReleased bool // baton-parked goroutines released into free running
+	parkedStop  int  // procs parked waiting for the next Run
+	parkedSTW   int  // procs parked at a stop-the-world rendezvous
 	runGen      uint64
 	stopPending bool
 	stwOwner    *Proc

@@ -298,10 +298,10 @@ func TestParScavengeScheduleIndependence(t *testing.T) {
 	const seed = 7
 	want := runScavFuzzDet(t, seed, false)
 	schedules := [][]time.Duration{
-		nil, // unperturbed
-		{2 * time.Millisecond, 0, 0, 0},         // owner lags: helpers drain the roots
+		nil,                             // unperturbed
+		{2 * time.Millisecond, 0, 0, 0}, // owner lags: helpers drain the roots
 		{0, 2 * time.Millisecond, time.Millisecond, 0}, // staggered helpers
-		{0, 0, 0, 2 * time.Millisecond},         // one straggler forces steals
+		{0, 0, 0, 2 * time.Millisecond},                // one straggler forces steals
 	}
 	for i, delays := range schedules {
 		got := runScavFuzzHost(t, seed, delays)

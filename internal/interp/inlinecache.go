@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mst/internal/bytecode"
+	"mst/internal/jit"
 	"mst/internal/object"
 )
 
@@ -119,6 +120,13 @@ func (in *Interp) icFill(site *icSite, class, method object.OOP, prim int) {
 	site.mega = true
 	site.n = 0
 	in.stats.ICMegaSites++
+	if in.jitOn {
+		// The compiled body baked in "probe this site"; retirement
+		// changes the site's send protocol, so the template tier bails
+		// to the interpreter and refuses to recompile this method.
+		in.jitBlacklist(in.method)
+		in.jitDeopt(jit.DeoptMegamorphic)
+	}
 }
 
 // flushIC drops every inline-cache binding (a method install made class

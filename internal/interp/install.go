@@ -232,6 +232,10 @@ func (vm *VM) flushAllCaches() {
 		// are immutable once installed.
 		in.flushIC()
 		in.refreshCode()
+		// Compiled templates bake in IC-site identities; a method
+		// install resets the inline-cache state they bind to, so the
+		// whole tier — plans and persistent bodies — goes with it.
+		in.jitInvalidate()
 	}
 }
 

@@ -56,7 +56,7 @@ type Interp struct {
 	lits object.OOP
 	icm  *icMethod
 
-	codeCache map[object.OOP][]byte   // bytes oop → decoded code
+	codeCache map[object.OOP][]byte    // bytes oop → decoded code
 	ic        map[object.OOP]*icMethod // method oop → inline caches
 
 	// Configuration and cost constants hoisted out of the dispatch loop.
@@ -70,15 +70,34 @@ type Interp struct {
 	// profFrames is profSync's reusable frame scratch (see profile.go).
 	rec        *trace.Recorder
 	profFrames []string
+
+	// msjit tier state (Config.JIT; see jit.go). jfns is the compiled
+	// code of the executing method (nil = interpret); jcost its
+	// pre-specialized per-bytecode dispatch charge. jitTab is the
+	// per-processor method-plan table — a direct-mapped replica keyed by
+	// raw method oops, flushed before every scavenge like the method
+	// cache.
+	jitOn  bool
+	jfns   []jitFn
+	jcost  firefly.Time
+	jleft  int // bytecodes left in the running quantum (jit loop only)
+	jitTab []jitEntry
+	// jitKeep persists compiled bodies across scavenges: closures
+	// capture no raw oops (operands are indices resolved through the
+	// registers at run time), so a compiled body stays valid as long as
+	// its inline-cache state does — and the icMethod instances survive
+	// scavenges by design (rekeyIC). Keyed by host pointer: no rekeying,
+	// never iterated. Cleared with the inline caches (jitInvalidate).
+	jitKeep map[*icMethod]*jitCode
 }
 
 func newInterp(vm *VM, p *firefly.Proc) *Interp {
 	in := &Interp{vm: vm, p: p, proc: object.Nil, ctx: object.Nil,
 		method: object.Nil, receiver: object.Nil, bytes: object.Nil, home: object.Nil,
-		lits:      object.Nil,
-		codeCache: map[object.OOP][]byte{},
-		costs:     vm.M.Costs(),
-		rec:       vm.M.Recorder(),
+		lits:         object.Nil,
+		codeCache:    map[object.OOP][]byte{},
+		costs:        vm.M.Costs(),
+		rec:          vm.M.Recorder(),
 		sharedLocked: vm.Cfg.MethodCache == CacheSharedLocked,
 		twoWay:       vm.Cfg.CacheWays == 2,
 		icPolicy:     vm.Cfg.InlineCache,
@@ -95,6 +114,11 @@ func newInterp(vm *VM, p *firefly.Proc) *Interp {
 	if in.icPolicy != ICOff {
 		in.ic = map[object.OOP]*icMethod{}
 		vm.H.AddRootFunc(in.icVisitRoots)
+	}
+	if vm.Cfg.JIT {
+		in.jitOn = true
+		in.jitTab = make([]jitEntry, jitTabSize)
+		in.jitKeep = map[*icMethod]*jitCode{}
 	}
 	h := vm.H
 	h.AddRoot(&in.ctx)
@@ -175,6 +199,37 @@ func (in *Interp) Quantum() {
 		return
 	}
 	n := in.vm.Cfg.QuantumBytecodes
+	if in.jitOn {
+		// Tiered dispatch: compiled methods run their pre-bound
+		// closures (`fns[pc]()`, no decode switch), everything else
+		// falls through to step(). Yield checks, bytecode counting,
+		// and the dispatch + bus charges stay per-bytecode and
+		// identical to the interpreter loop — except inside a fused
+		// group (jitfuse.go), which proves up front that none of its
+		// internal safepoints could fire, batches the identical
+		// charges, and draws the extra bytecodes from jleft so the
+		// quantum covers exactly QuantumBytecodes either way.
+		in.jleft = n
+		for in.jleft > 0 {
+			in.p.CheckYield()
+			if in.p.Stopped() || in.proc == object.Nil {
+				return
+			}
+			if fns := in.jfns; fns != nil {
+				in.jleft--
+				in.stats.Bytecodes++
+				in.stats.JITBytecodes++
+				in.p.Advance(in.jcost)
+				in.busCharge()
+				fns[in.pc]()
+			} else {
+				in.jleft--
+				in.step()
+			}
+		}
+		in.p.CheckYield()
+		return
+	}
 	for i := 0; i < n; i++ {
 		in.p.CheckYield()
 		if in.p.Stopped() || in.proc == object.Nil {
@@ -262,22 +317,9 @@ func (in *Interp) tempSlot(n int) (object.OOP, int) {
 func (in *Interp) step() {
 	vm := in.vm
 	h := vm.H
-	c := in.costs
 	in.stats.Bytecodes++
-	in.p.Advance(c.Bytecode)
-
-	// Shared memory-bus contention: executing alongside other active
-	// processors costs extra (paper: competition overhead; Firefly:
-	// five processors on one bus).
-	if d := c.BusDivisor; d > 0 {
-		if k := vm.M.ActiveProcs() - 1; k > 0 {
-			in.busAccum += firefly.Time(k)
-			if in.busAccum >= d {
-				in.p.Advance(in.busAccum / d)
-				in.busAccum %= d
-			}
-		}
-	}
+	in.p.Advance(in.costs.Bytecode)
+	in.busCharge()
 
 	op := bytecode.Op(in.fetchByte())
 	switch op {
@@ -369,6 +411,38 @@ func (in *Interp) step() {
 	}
 }
 
+// busCharge accrues the shared memory-bus contention penalty: executing
+// alongside other active processors costs extra (paper: competition
+// overhead; Firefly: five processors on one bus). Both execution tiers
+// charge it identically, once per bytecode.
+func (in *Interp) busCharge() {
+	if d := in.costs.BusDivisor; d > 0 {
+		if k := in.vm.M.ActiveProcs() - 1; k > 0 {
+			in.busAccum += firefly.Time(k)
+			if in.busAccum >= d {
+				in.p.Advance(in.busAccum / d)
+				in.busAccum %= d
+			}
+		}
+	}
+}
+
+// busChargeN accrues n bytecodes' worth of bus contention in one shot
+// (fused groups). The floor-divided accumulator telescopes: n single
+// charges at a fixed active-processor count advance exactly what one
+// n-scaled charge does, remainder included.
+func (in *Interp) busChargeN(n int) {
+	if d := in.costs.BusDivisor; d > 0 {
+		if k := in.vm.M.ActiveProcs() - 1; k > 0 {
+			in.busAccum += firefly.Time(n) * firefly.Time(k)
+			if in.busAccum >= d {
+				in.p.Advance(in.busAccum / d)
+				in.busAccum %= d
+			}
+		}
+	}
+}
+
 // literalAt returns literal frame entry i of the current method (the
 // frame oop is cached in a register-derived slot; see loadContext).
 func (in *Interp) literalAt(i int) object.OOP {
@@ -429,11 +503,19 @@ func (in *Interp) loadContext(ctx object.OOP) {
 	}
 	in.method = h.Fetch(in.home, CtxMethod)
 	in.receiver = h.Fetch(in.home, CtxReceiver)
-	in.bytes = h.Fetch(in.method, CMBytes)
-	in.lits = h.Fetch(in.method, CMLiterals)
-	in.code = in.codeFor(in.bytes)
-	if in.icPolicy != ICOff {
-		in.icm = in.icFor(in.method, in.code)
+	// With the tier on, a resident plan replaces the whole derivation
+	// below (the literal-frame fetches and two map probes) with a few
+	// field copies; the values installed are identical by construction.
+	if !in.jitOn || !in.jitLoadFast() {
+		in.bytes = h.Fetch(in.method, CMBytes)
+		in.lits = h.Fetch(in.method, CMLiterals)
+		in.code = in.codeFor(in.bytes)
+		if in.icPolicy != ICOff {
+			in.icm = in.icFor(in.method, in.code)
+		}
+		if in.jitOn {
+			in.jitEnter()
+		}
 	}
 	in.pc = int(h.Fetch(ctx, CtxPC).Int())
 	in.sp = int(h.Fetch(ctx, CtxSP).Int())

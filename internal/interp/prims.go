@@ -467,6 +467,9 @@ func (in *Interp) callPrimitive(prim, nargs int) bool {
 		if vm.ClassOf(recv) != vm.Specials.CompiledMethod {
 			return false
 		}
+		// Decompiler/debugger attach: the method must run interpreted
+		// from here on (per-processor tier — peers keep their copies).
+		in.jitForget(recv)
 		s := vm.NewString(in.p, vm.Disassemble(recv))
 		return in.primReturn(nargs, s)
 

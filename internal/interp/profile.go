@@ -119,6 +119,12 @@ func (in *Interp) profSync() {
 	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
 		frames[i], frames[j] = frames[j], frames[i]
 	}
+	if in.jfns != nil && len(frames) > 0 {
+		// Tier attribution: busy ticks accrued while the innermost
+		// frame runs as compiled closures are tagged so the selector
+		// profiler can split compiled vs interpreted time.
+		frames[len(frames)-1] += jitFrameTag
+	}
 	in.profFrames = frames
 	vm.prof.Sync(in.p.ID(), frames, int64(in.p.Stats().Busy))
 }

@@ -3,6 +3,7 @@ package interp
 import (
 	"mst/internal/bytecode"
 	"mst/internal/firefly"
+	"mst/internal/jit"
 	"mst/internal/object"
 	"mst/internal/trace"
 )
@@ -148,6 +149,20 @@ func (vm *VM) methodDictLookup(dict, selector object.OOP) (object.OOP, bool) {
 // current method (-1 for sends with no site: perform:, DNU reship),
 // which identifies the send site for the inline-cache layer.
 func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
+	var site *icSite
+	if in.icPolicy != ICOff && sitePC >= 0 && in.icm != nil {
+		if si := in.icm.siteIndex(sitePC); si >= 0 {
+			site = &in.icm.sites[si]
+		}
+	}
+	in.sendWithSite(selector, nargs, super, site)
+}
+
+// sendWithSite is the send tail after site resolution. The msjit tier
+// calls it directly with the site pre-resolved at compile time (and the
+// selector pre-fetched from the literal frame), skipping the per-send
+// binary search; the virtual charges are identical either way.
+func (in *Interp) sendWithSite(selector object.OOP, nargs int, super bool, site *icSite) {
 	vm := in.vm
 	in.stats.Sends++
 	if in.rec != nil {
@@ -169,26 +184,22 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 	var prim int
 	hit := false
 	var fillSite *icSite
-	if in.icPolicy != ICOff && sitePC >= 0 && in.icm != nil {
-		if si := in.icm.siteIndex(sitePC); si >= 0 {
-			// Megamorphic sites were retired (Hölzle): the send goes
-			// straight to the method cache, paying no probe.
-			if site := &in.icm.sites[si]; !site.mega {
-				in.p.Advance(in.costs.ICProbe)
-				if m, p, ok := site.probe(class); ok {
-					in.stats.ICHits++
-					if in.rec != nil {
-						in.rec.Emit(trace.KICHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
-					}
-					method, prim, hit = m, p, true
-				} else {
-					in.stats.ICMisses++
-					if in.rec != nil {
-						in.rec.Emit(trace.KICMiss, in.p.ID(), int64(in.p.Now()), 0, 0, in.selName(selector))
-					}
-					fillSite = site
-				}
+	// Megamorphic sites were retired (Hölzle): the send goes straight
+	// to the method cache, paying no probe.
+	if site != nil && !site.mega {
+		in.p.Advance(in.costs.ICProbe)
+		if m, p, ok := site.probe(class); ok {
+			in.stats.ICHits++
+			if in.rec != nil {
+				in.rec.Emit(trace.KICHit, in.p.ID(), int64(in.p.Now()), 0, 0, "")
 			}
+			method, prim, hit = m, p, true
+		} else {
+			in.stats.ICMisses++
+			if in.rec != nil {
+				in.rec.Emit(trace.KICMiss, in.p.ID(), int64(in.p.Now()), 0, 0, in.selName(selector))
+			}
+			fillSite = site
 		}
 	}
 	if !hit {
@@ -220,6 +231,18 @@ func (in *Interp) send(selector object.OOP, nargs int, super bool, sitePC int) {
 func (in *Interp) sendDNU(selector object.OOP, nargs int) {
 	vm := in.vm
 	in.stats.DNUs++
+	if in.jitOn && in.jfns != nil {
+		// A doesNotUnderstand: reship is an uncommon path the template
+		// tier refuses to run compiled: drop the compiled body and let
+		// the interpreter carry the reship (clean bytecode boundary —
+		// the send closure already advanced in.pc).
+		in.jitDiscard(in.method)
+		if e := &in.jitTab[jitTabIndex(in.method)]; e.method == in.method {
+			e.jc = nil
+			e.count = 0
+		}
+		in.jitDeopt(jit.DeoptDNU)
+	}
 	vm.hostMu.Lock()
 	if len(vm.errors) < 100 { // diagnostic log; DNU may be handled deliberately
 		vm.errors = append(vm.errors, "doesNotUnderstand: #"+vm.SymbolName(selector)+
@@ -263,6 +286,9 @@ func (in *Interp) sendDNU(selector object.OOP, nargs int) {
 // activateMethod builds (or recycles) a context for method and makes it
 // active. The receiver and nargs arguments are on the caller's stack.
 func (in *Interp) activateMethod(method object.OOP, nargs int) {
+	if in.jitOn && in.jitActivate(method, nargs) {
+		return
+	}
 	vm := in.vm
 	h := vm.H
 	hdr := h.Fetch(method, CMHeader)
@@ -361,6 +387,16 @@ func (in *Interp) recycleContext(ctx object.OOP) {
 		// thisContext; let the scavenger reclaim it.
 		return
 	}
+	if in.jitOn {
+		// Nil-watermark for jitActivate: the pop discipline keeps every
+		// slot at or above sp nil, so the dead frame's sp tells the next
+		// fast activation how much of the slot area still needs
+		// nil-filling ([nargs, sp) — the rest is already clean). The
+		// frame is dead and unreachable, so the stash is invisible to
+		// the scavenger and to the generic path, which overwrites CtxSP
+		// and nil-fills everything regardless.
+		vm.H.StoreNoCheck(ctx, CtxSP, object.FromInt(int64(in.sp)))
+	}
 	large := vm.H.FieldCount(ctx)-CtxFixed > SmallCtxSlots
 	const freeListMax = 64
 	if vm.Cfg.FreeContexts == FreeCtxSharedLocked {
@@ -448,9 +484,21 @@ func (in *Interp) allocContext(large bool) object.OOP {
 // for the common cases; otherwise it falls back to a normal send of the
 // pre-interned selector. sitePC is the pc of the send opcode.
 func (in *Interp) specialSend(op bytecode.Op, sitePC int) {
+	if in.specialFast(op) {
+		return
+	}
+	// Fast path failed: a real send of the pre-interned selector.
+	in.send(in.vm.specialSelectors[op-bytecode.FirstSpecialSend],
+		bytecode.Special(op).NumArgs, false, sitePC)
+}
+
+// specialFast attempts the inline fast path for a special-selector
+// send. It reports whether the send was fully handled; otherwise the
+// caller falls back to a real send. Shared by the interpreter and the
+// msjit tier so both execute the exact same fast paths.
+func (in *Interp) specialFast(op bytecode.Op) bool {
 	vm := in.vm
 	h := vm.H
-	spec := bytecode.Special(op)
 
 	switch op {
 	case bytecode.OpSendAdd, bytecode.OpSendSub, bytecode.OpSendMul,
@@ -463,7 +511,7 @@ func (in *Interp) specialSend(op bytecode.Op, sitePC int) {
 			if r, ok := intArith(op, a.Int(), b.Int()); ok {
 				in.popN(2)
 				in.push(r)
-				return
+				return true
 			}
 		}
 	case bytecode.OpSendLT, bytecode.OpSendGT, bytecode.OpSendLE,
@@ -473,39 +521,39 @@ func (in *Interp) specialSend(op bytecode.Op, sitePC int) {
 		if a.IsInt() && b.IsInt() {
 			in.popN(2)
 			in.push(object.FromBool(intCompare(op, a.Int(), b.Int())))
-			return
+			return true
 		}
 	case bytecode.OpSendIdent:
 		b := in.pop()
 		a := in.pop()
 		in.push(object.FromBool(a == b))
-		return
+		return true
 	case bytecode.OpSendNotIdent:
 		b := in.pop()
 		a := in.pop()
 		in.push(object.FromBool(a != b))
-		return
+		return true
 	case bytecode.OpSendClass:
 		v := in.pop()
 		in.push(vm.ClassOf(v))
-		return
+		return true
 	case bytecode.OpSendIsNil:
 		v := in.pop()
 		in.push(object.FromBool(v == object.Nil))
-		return
+		return true
 	case bytecode.OpSendNotNil:
 		v := in.pop()
 		in.push(object.FromBool(v != object.Nil))
-		return
+		return true
 	case bytecode.OpSendNot:
 		v := in.stackAt(0)
 		if v == object.True {
 			in.setStackTop(object.False)
-			return
+			return true
 		}
 		if v == object.False {
 			in.setStackTop(object.True)
-			return
+			return true
 		}
 	case bytecode.OpSendAt:
 		recv := in.stackAt(1)
@@ -513,7 +561,7 @@ func (in *Interp) specialSend(op bytecode.Op, sitePC int) {
 		if v, ok := in.basicAt(recv, idx); ok {
 			in.popN(2)
 			in.push(v)
-			return
+			return true
 		}
 	case bytecode.OpSendAtPut:
 		recv := in.stackAt(2)
@@ -522,32 +570,30 @@ func (in *Interp) specialSend(op bytecode.Op, sitePC int) {
 		if in.basicAtPut(recv, idx, val) {
 			in.popN(3)
 			in.push(val)
-			return
+			return true
 		}
 	case bytecode.OpSendSize:
 		recv := in.stackAt(0)
 		if n, ok := in.basicSize(recv); ok {
 			in.setStackTop(object.FromInt(int64(n)))
-			return
+			return true
 		}
 	case bytecode.OpSendValue:
 		recv := in.stackAt(0)
 		if recv.IsPtr() && recv != object.Nil && h.ClassOf(recv) == vm.Specials.BlockContext {
 			if in.blockValue(recv, 0) {
-				return
+				return true
 			}
 		}
 	case bytecode.OpSendValue1:
 		recv := in.stackAt(1)
 		if recv.IsPtr() && recv != object.Nil && h.ClassOf(recv) == vm.Specials.BlockContext {
 			if in.blockValue(recv, 1) {
-				return
+				return true
 			}
 		}
 	}
-
-	// Fast path failed: a real send of the pre-interned selector.
-	in.send(vm.specialSelectors[op-bytecode.FirstSpecialSend], spec.NumArgs, false, sitePC)
+	return false
 }
 
 func intArith(op bytecode.Op, a, b int64) (object.OOP, bool) {

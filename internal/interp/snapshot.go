@@ -5,6 +5,7 @@ import (
 
 	"mst/internal/firefly"
 	"mst/internal/heap"
+	"mst/internal/jit"
 	"mst/internal/object"
 )
 
@@ -92,6 +93,7 @@ func (in *Interp) primSnapshot(nargs int, recv object.OOP) bool {
 	in.primReturn(nargs, recv)
 
 	vm.ParkAllProcesses(in.p)
+	vm.jitDeoptAll(jit.DeoptSnapshot)
 	// "The only requirement is to fill in the activeProcess slot
 	// before taking a snapshot and to empty it afterwards." (§3.3)
 	vm.H.Store(in.p, vm.Specials.Scheduler, SchedActive, in.proc)

@@ -111,6 +111,12 @@ type Config struct {
 	FreeContexts FreeCtxPolicy
 	// QuantumBytecodes bounds one interpreter quantum.
 	QuantumBytecodes int
+	// JIT enables the template-compiled execution tier (msjit, an
+	// extension; off by default): hot methods are compiled into arrays
+	// of pre-specialized closures that charge the identical virtual
+	// costs through the same cost table, so every virtual time and
+	// counter is bit-identical — only host time changes.
+	JIT bool
 	// PanicOnVMError makes internal VM errors panic (tests); otherwise
 	// they are recorded and the offending Process is terminated.
 	PanicOnVMError bool
@@ -331,6 +337,9 @@ type Stats struct {
 	SemWaits         uint64
 	SemSignals       uint64
 	VMErrors         uint64
+	JITCompiles      uint64 // methods template-compiled into the msjit tier
+	JITDeopts        uint64 // mid-method bailouts back to the interpreter
+	JITBytecodes     uint64 // bytecodes executed as compiled closures
 }
 
 // add accumulates o into s (used to sum the per-interpreter counters).
@@ -354,6 +363,9 @@ func (s *Stats) add(o *Stats) {
 	s.SemWaits += o.SemWaits
 	s.SemSignals += o.SemSignals
 	s.VMErrors += o.VMErrors
+	s.JITCompiles += o.JITCompiles
+	s.JITDeopts += o.JITDeopts
+	s.JITBytecodes += o.JITBytecodes
 }
 
 // VM is the shared virtual machine state: one heap, one scheduler, one
@@ -374,7 +386,7 @@ type VM struct {
 
 	sharedCache   *[cacheSize]mcEntry // CacheSharedLocked only
 	sharedFreeCtx [2][]object.OOP     // small/large shared free lists
-	charTable     []object.OOP    // ASCII characters, roots
+	charTable     []object.OOP        // ASCII characters, roots
 
 	// Symbol interning: slice is the root set, map caches name→index.
 	symbolList []object.OOP
@@ -510,6 +522,7 @@ func New(m *firefly.Machine, h *heap.Heap, cfg Config) *VM {
 		for _, in := range vm.Interps {
 			in.flushCache()
 			in.flushCode()
+			in.jitFlush()
 		}
 		vm.sharedFreeCtx[0] = vm.sharedFreeCtx[0][:0]
 		vm.sharedFreeCtx[1] = vm.sharedFreeCtx[1][:0]

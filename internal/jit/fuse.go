@@ -1,0 +1,520 @@
+package jit
+
+import (
+	"mst/internal/bytecode"
+	"mst/internal/firefly"
+	"mst/internal/object"
+)
+
+// Superinstruction fusion: a maximal straight-line group of simple
+// bytecodes (stack shuffles, temp/ivar/literal reads, SmallInteger
+// arithmetic and comparison fast paths, and one trailing jump, branch,
+// or return) is compiled into a single micro-program the execution
+// tier runs as one closure. The win is not the dispatch alone: the
+// micro-program evaluates the group symbolically in host registers, so
+// intermediate operand-stack traffic — push-then-pop heap stores the
+// interpreter performs and immediately undoes — never touches the
+// heap.
+//
+// Exactness argument. A group runs under a gate the execution tier
+// checks at entry:
+//
+//   - enough quantum budget remains that none of the group's internal
+//     CheckYield safepoints could fire (a CheckYield below the yield
+//     deadline is a pure no-op, so skipping it is unobservable, and
+//     nothing else — no allocation, no send, no trace emission — can
+//     observe the machine mid-group);
+//   - the context is in new space (or already in the remembered set),
+//     so the elided stack stores could never have inserted a
+//     remembered-set entry or charged a store-check;
+//   - every runtime proof (operands are SmallIntegers, arithmetic does
+//     not overflow, the at: fast path applies, a branch condition is a
+//     real Boolean) passes during a pure read-only evaluation phase.
+//
+// If any condition fails the tier falls back to the head bytecode's
+// singleton closure before any state change, so the group is
+// failure-atomic. On success the tier charges exactly the bytecodes'
+// costs (batched — the partial sums are unobservable without a yield)
+// and commits the group's net effect: final temp and ivar stores, the
+// surviving stack values, nils where the interpreter's pops would have
+// nilled, and the final pc. The committed heap state is bit-identical
+// to the interpreter's at the next bytecode boundary.
+
+// MicroKind is one micro-instruction of a fused group's evaluation
+// phase. Loads are pure reads; arithmetic bails out of the group (to
+// the singleton fallback) unless its SmallInteger proof holds.
+type MicroKind uint8
+
+const (
+	// MLoadTemp: R[Dst] = temp A (via the home context).
+	MLoadTemp MicroKind = iota
+	// MLoadStack: R[Dst] = the stack slot A below the group's entry top.
+	MLoadStack
+	// MLoadIVar: R[Dst] = receiver instance variable A.
+	MLoadIVar
+	// MLoadLit: R[Dst] = literal frame entry A.
+	MLoadLit
+	// MLoadGlobal: R[Dst] = value slot of the association at literal A.
+	MLoadGlobal
+	// MLoadSelf: R[Dst] = the receiver.
+	MLoadSelf
+	// MConst: R[Dst] = the oop K (a SmallInteger or an immortal
+	// constant — nil, true, false — so it is scavenge-stable).
+	MConst
+	// MArith: R[Dst] = R[A] <Op> R[B]; bails unless both operands are
+	// SmallIntegers and the result fits (the specialFast conditions).
+	MArith
+	// MCompare: R[Dst] = true/false from R[A] <Op> R[B]; bails unless
+	// both operands are SmallIntegers.
+	MCompare
+	// MIdent / MNotIdent: R[Dst] = true/false from oop identity.
+	MIdent
+	MNotIdent
+	// MIsNil / MNotNil: R[Dst] = true/false from a nil test of R[A].
+	MIsNil
+	MNotNil
+	// MNot: R[Dst] = the other Boolean; bails unless R[A] is a Boolean.
+	MNot
+	// MAt: R[Dst] = R[A] at: R[B] via the indexed-access fast path;
+	// bails whenever basicAt would fall back to a real send.
+	MAt
+)
+
+// Micro is one micro-instruction. A, B, Dst index the group's register
+// file (for loads, A is the temp/ivar/literal/stack index instead).
+type Micro struct {
+	Kind MicroKind
+	Op   bytecode.Op // MArith/MCompare: the special-send opcode
+	A    uint8
+	B    uint8
+	Dst  uint8
+	K    int64 // MConst: the raw oop bits
+}
+
+// FuseTerm is how a fused group transfers control at its end.
+type FuseTerm uint8
+
+const (
+	// TermFall: fall through to NextPC.
+	TermFall FuseTerm = iota
+	// TermJump: unconditional jump to Target.
+	TermJump
+	// TermBranch: branch to Target when R[Cond] is the Boolean Want,
+	// else fall through to NextPC.
+	TermBranch
+	// TermReturn: method return of R[Ret] (the ^-return machinery,
+	// including the non-local block case, runs as usual).
+	TermReturn
+)
+
+// SlotWrite is one committed store: temp or ivar index Slot takes
+// R[Reg]. Only the last write per slot survives analysis; reads inside
+// the group see pending writes by substitution.
+type SlotWrite struct {
+	Slot uint8
+	Reg  uint8
+}
+
+// Fused is one compiled group.
+type Fused struct {
+	N      int // bytecodes covered, including the head
+	NextPC int // pc following the group (fall-through)
+	Target int // TermJump/TermBranch destination
+	Want   bool
+	Cond   uint8
+	Ret    uint8
+	Term   FuseTerm
+
+	Prog       []Micro     // pure evaluation phase
+	TempWrites []SlotWrite // committed temp stores, slot order
+	IVarWrites []SlotWrite // committed ivar stores, slot order
+	Pops       int         // entry-stack slots the group consumes
+	Push       []uint8     // regs materialized above the consumed slots
+
+	// Charge is the batched dispatch cost of bytecodes 1..N-1 (the
+	// head's charge is applied by the quantum loop), resolved from the
+	// shared cost table via Specialize like every other charge.
+	Charge firefly.Time
+
+	// Gain estimates saved work (dispatches plus elided heap stores);
+	// the execution tier only installs groups that clear its bar.
+	Gain int
+}
+
+// Analysis caps: the register file the executor allocates, and bounds
+// keeping micro-programs small enough to stay cache-friendly.
+const (
+	fuseMaxRegs  = 16
+	fuseMaxProg  = 24
+	fuseMaxDepth = 12
+	fuseMaxLen   = 16
+)
+
+type fuser struct {
+	p      *Program
+	f      Fused
+	vstack []uint8 // symbolic operand stack (register ids)
+	vbuf   [fuseMaxDepth]uint8
+	// Pending temp/ivar writes: slot -> reg+1 (0 = none), plus the
+	// touched slots in emission order. Arrays, not maps: Fuse runs at
+	// every pc of every compiled method, including the recompiles that
+	// follow a decompiler detach, so its constant factor shows up.
+	temps  [256]int16
+	ivars  [256]int16
+	ttouch []uint8
+	itouch []uint8
+	nreg   int
+	writes int // heap stores the interpreter would have performed
+}
+
+// fsnap checkpoints the analysis before each bytecode, so an op that
+// fails mid-translation (register exhaustion after one operand popped)
+// rolls back cleanly and the group ends before it.
+type fsnap struct {
+	prog   int
+	vlen   int
+	vcopy  [fuseMaxDepth]uint8
+	pops   int
+	nreg   int
+	writes int
+}
+
+func (z *fuser) save() fsnap {
+	s := fsnap{prog: len(z.f.Prog), vlen: len(z.vstack),
+		pops: z.f.Pops, nreg: z.nreg, writes: z.writes}
+	copy(s.vcopy[:], z.vstack)
+	return s
+}
+
+func (z *fuser) restore(s fsnap) {
+	z.f.Prog = z.f.Prog[:s.prog]
+	z.vstack = append(z.vstack[:0], s.vcopy[:s.vlen]...)
+	z.f.Pops = s.pops
+	z.nreg = s.nreg
+	z.writes = s.writes
+}
+
+func (z *fuser) reg() (uint8, bool) {
+	if z.nreg >= fuseMaxRegs {
+		return 0, false
+	}
+	r := uint8(z.nreg)
+	z.nreg++
+	return r, true
+}
+
+func (z *fuser) emit(m Micro) { z.f.Prog = append(z.f.Prog, m) }
+
+func (z *fuser) setTemp(slot, r uint8) {
+	if z.temps[slot] == 0 {
+		z.ttouch = append(z.ttouch, slot)
+	}
+	z.temps[slot] = int16(r) + 1
+	z.writes++
+}
+
+func (z *fuser) setIVar(slot, r uint8) {
+	if z.ivars[slot] == 0 {
+		z.itouch = append(z.itouch, slot)
+	}
+	z.ivars[slot] = int16(r) + 1
+	z.writes++
+}
+
+// vpop pops the symbolic stack, loading from the real entry stack when
+// the symbolic one underflows (the group then consumes a slot the
+// previous bytecodes left behind).
+func (z *fuser) vpop() (uint8, bool) {
+	if n := len(z.vstack); n > 0 {
+		r := z.vstack[n-1]
+		z.vstack = z.vstack[:n-1]
+		z.writes++ // the interpreter's pop would nil the slot
+		return r, true
+	}
+	r, ok := z.reg()
+	if !ok {
+		return 0, false
+	}
+	z.emit(Micro{Kind: MLoadStack, A: uint8(z.f.Pops), Dst: r})
+	z.f.Pops++
+	z.writes++
+	return r, true
+}
+
+// vtop reads the symbolic top without popping (dup, storeTemp).
+func (z *fuser) vtop() (uint8, bool) {
+	if n := len(z.vstack); n > 0 {
+		return z.vstack[n-1], true
+	}
+	// The real top: only valid while nothing symbolic is stacked, and
+	// it stays on the real stack (not consumed).
+	if z.f.Pops > 0 {
+		// Slots below already-consumed ones are not addressable as a
+		// live top; give up on the group here.
+		return 0, false
+	}
+	r, ok := z.reg()
+	if !ok {
+		return 0, false
+	}
+	z.emit(Micro{Kind: MLoadStack, A: 0, Dst: r})
+	return r, true
+}
+
+func (z *fuser) vpush(r uint8) bool {
+	if len(z.vstack) >= fuseMaxDepth {
+		return false
+	}
+	z.vstack = append(z.vstack, r)
+	z.writes++ // the interpreter's push would store the slot
+	return true
+}
+
+// load emits a pure load micro-op and pushes its register.
+func (z *fuser) load(kind MicroKind, a uint8, k int64) bool {
+	if kind == MLoadTemp {
+		if r := z.temps[a]; r != 0 {
+			return z.vpush(uint8(r - 1))
+		}
+	}
+	if kind == MLoadIVar {
+		if r := z.ivars[a]; r != 0 {
+			return z.vpush(uint8(r - 1))
+		}
+	}
+	r, ok := z.reg()
+	if !ok {
+		return false
+	}
+	z.emit(Micro{Kind: kind, A: a, Dst: r, K: k})
+	return z.vpush(r)
+}
+
+// binary emits a two-operand micro-op over the symbolic stack.
+func (z *fuser) binary(kind MicroKind, op bytecode.Op) bool {
+	b, ok := z.vpop()
+	if !ok {
+		return false
+	}
+	a, ok := z.vpop()
+	if !ok {
+		return false
+	}
+	r, ok := z.reg()
+	if !ok {
+		return false
+	}
+	z.emit(Micro{Kind: kind, Op: op, A: a, B: b, Dst: r})
+	z.writes++ // the interpreter's result push
+	return z.vpush(r)
+}
+
+func (z *fuser) unary(kind MicroKind) bool {
+	a, ok := z.vpop()
+	if !ok {
+		return false
+	}
+	r, ok := z.reg()
+	if !ok {
+		return false
+	}
+	z.emit(Micro{Kind: kind, A: a, Dst: r})
+	z.writes++
+	return z.vpush(r)
+}
+
+func isFuseArith(op bytecode.Op) bool {
+	switch op {
+	case bytecode.OpSendAdd, bytecode.OpSendSub, bytecode.OpSendMul,
+		bytecode.OpSendIntDiv, bytecode.OpSendMod,
+		bytecode.OpSendBitAnd, bytecode.OpSendBitOr, bytecode.OpSendBitXor,
+		bytecode.OpSendBitShift:
+		return true
+	}
+	return false
+}
+
+func isFuseCompare(op bytecode.Op) bool {
+	switch op {
+	case bytecode.OpSendLT, bytecode.OpSendGT, bytecode.OpSendLE,
+		bytecode.OpSendGE, bytecode.OpSendEq, bytecode.OpSendNE:
+		return true
+	}
+	return false
+}
+
+// Fuse analyzes the maximal fusable group starting at instruction
+// index start. It returns nil when the group is too short or saves too
+// little to be worth a fused closure.
+// fuseHead reports whether a group starting at op could be profitable:
+// only non-terminal family members qualify (a lone jump or return has
+// nothing to fuse with), which lets Fuse return before allocating.
+func fuseHead(op bytecode.Op) bool {
+	switch op {
+	case bytecode.OpPushSelf, bytecode.OpPushNil, bytecode.OpPushTrue,
+		bytecode.OpPushFalse, bytecode.OpPushInt8, bytecode.OpPushTemp,
+		bytecode.OpPushInstVar, bytecode.OpPushLiteral, bytecode.OpPushGlobal,
+		bytecode.OpDup, bytecode.OpPop,
+		bytecode.OpStoreTemp, bytecode.OpPopTemp,
+		bytecode.OpStoreInstVar, bytecode.OpPopInstVar,
+		bytecode.OpSendIdent, bytecode.OpSendNotIdent,
+		bytecode.OpSendIsNil, bytecode.OpSendNotNil, bytecode.OpSendNot,
+		bytecode.OpSendAt:
+		return true
+	}
+	return isFuseArith(op) || isFuseCompare(op)
+}
+
+func Fuse(p *Program, start int) *Fused {
+	if p.Instrs[start].Uncommon || !fuseHead(p.Instrs[start].Op) {
+		return nil
+	}
+	z := &fuser{p: p}
+	z.vstack = z.vbuf[:0]
+	z.f.Prog = make([]Micro, 0, fuseMaxProg)
+	i := start
+	terminated := false
+
+loop:
+	for i < len(p.Instrs) && z.f.N < fuseMaxLen && len(z.f.Prog) < fuseMaxProg {
+		ins := &p.Instrs[i]
+		if ins.Uncommon {
+			break
+		}
+		snap := z.save()
+		ok := false
+		switch ins.Op {
+		case bytecode.OpPushSelf:
+			ok = z.load(MLoadSelf, 0, 0)
+		case bytecode.OpPushNil:
+			ok = z.load(MConst, 0, int64(object.Nil))
+		case bytecode.OpPushTrue:
+			ok = z.load(MConst, 0, int64(object.True))
+		case bytecode.OpPushFalse:
+			ok = z.load(MConst, 0, int64(object.False))
+		case bytecode.OpPushInt8:
+			ok = z.load(MConst, 0, int64(object.FromInt(int64(ins.A))))
+		case bytecode.OpPushTemp:
+			ok = z.load(MLoadTemp, uint8(ins.A), 0)
+		case bytecode.OpPushInstVar:
+			ok = z.load(MLoadIVar, uint8(ins.A), 0)
+		case bytecode.OpPushLiteral:
+			ok = z.load(MLoadLit, uint8(ins.A), 0)
+		case bytecode.OpPushGlobal:
+			ok = z.load(MLoadGlobal, uint8(ins.A), 0)
+		case bytecode.OpDup:
+			var r uint8
+			if r, ok = z.vtop(); ok {
+				ok = z.vpush(r)
+			}
+		case bytecode.OpPop:
+			_, ok = z.vpop()
+		case bytecode.OpStoreTemp:
+			var r uint8
+			if r, ok = z.vtop(); ok {
+				z.setTemp(uint8(ins.A), r)
+			}
+		case bytecode.OpPopTemp:
+			var r uint8
+			if r, ok = z.vpop(); ok {
+				z.setTemp(uint8(ins.A), r)
+			}
+		case bytecode.OpStoreInstVar:
+			var r uint8
+			if r, ok = z.vtop(); ok {
+				z.setIVar(uint8(ins.A), r)
+			}
+		case bytecode.OpPopInstVar:
+			var r uint8
+			if r, ok = z.vpop(); ok {
+				z.setIVar(uint8(ins.A), r)
+			}
+
+		case bytecode.OpSendIdent:
+			ok = z.binary(MIdent, ins.Op)
+		case bytecode.OpSendNotIdent:
+			ok = z.binary(MNotIdent, ins.Op)
+		case bytecode.OpSendIsNil:
+			ok = z.unary(MIsNil)
+		case bytecode.OpSendNotNil:
+			ok = z.unary(MNotNil)
+		case bytecode.OpSendNot:
+			ok = z.unary(MNot)
+			z.writes-- // the interpreter's not replaces the top in place
+		case bytecode.OpSendAt:
+			ok = z.binary(MAt, ins.Op)
+
+		case bytecode.OpJump:
+			z.f.Term = TermJump
+			z.f.Target = ins.Target
+			z.f.N++
+			z.f.NextPC = ins.Next
+			terminated = true
+			break loop
+		case bytecode.OpJumpFalse, bytecode.OpJumpTrue:
+			var r uint8
+			if r, ok = z.vpop(); !ok {
+				break
+			}
+			z.f.Term = TermBranch
+			z.f.Target = ins.Target
+			z.f.Want = ins.Op == bytecode.OpJumpTrue
+			z.f.Cond = r
+			z.f.N++
+			z.f.NextPC = ins.Next
+			terminated = true
+			break loop
+		case bytecode.OpReturnTop:
+			var r uint8
+			if r, ok = z.vpop(); !ok {
+				break
+			}
+			z.f.Term = TermReturn
+			z.f.Ret = r
+			z.f.N++
+			z.f.NextPC = ins.Next
+			terminated = true
+			break loop
+
+		default:
+			if isFuseArith(ins.Op) {
+				ok = z.binary(MArith, ins.Op)
+			} else if isFuseCompare(ins.Op) {
+				ok = z.binary(MCompare, ins.Op)
+			}
+		}
+		if !ok {
+			z.restore(snap)
+			break
+		}
+		z.f.N++
+		z.f.NextPC = ins.Next
+		i++
+	}
+	_ = terminated
+	if z.f.N < 2 {
+		return nil
+	}
+
+	// Commit plan: surviving stack values, then final writes in slot
+	// order (deterministic; only the last write per slot matters, and
+	// in-group reads already saw pending writes by substitution).
+	z.f.Push = append(z.f.Push, z.vstack...)
+	for _, slot := range z.ttouch {
+		z.f.TempWrites = append(z.f.TempWrites, SlotWrite{Slot: slot, Reg: uint8(z.temps[slot] - 1)})
+	}
+	for _, slot := range z.itouch {
+		z.f.IVarWrites = append(z.f.IVarWrites, SlotWrite{Slot: slot, Reg: uint8(z.ivars[slot] - 1)})
+	}
+
+	commit := len(z.f.Push) + len(z.f.TempWrites) + len(z.f.IVarWrites)
+	if nils := z.f.Pops - len(z.f.Push); nils > 0 {
+		commit += nils
+	}
+	z.f.Charge = firefly.Time(z.f.N-1) * p.DispatchCost
+	z.f.Gain = (z.f.N - 1) + z.writes - commit
+	if z.f.Gain < 2 {
+		return nil
+	}
+	return &z.f
+}

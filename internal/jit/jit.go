@@ -1,0 +1,160 @@
+// Package jit is the target-independent half of the template-compiled
+// execution tier (msjit): it decodes a method's bytecode once, up
+// front, into a flat instruction template — operands widened, jump
+// targets resolved, uncommon opcodes marked — and pre-specializes the
+// per-instruction virtual dispatch cost from the shared firefly cost
+// table. The interpreter package turns each templated instruction into
+// one pre-bound Go closure ("threaded code"), so the hot loop becomes
+// `code[pc]()` with no fetch/decode switch.
+//
+// The split keeps the abstract semantics decoupled from the execution
+// substrate (Marr et al.): everything that affects virtual time lives
+// here, flows from *firefly.Costs, and is identical to what the
+// interpreter charges — a compiled method is bit-identical in virtual
+// time and pays off only in host nanoseconds. The msvet costcharge rule
+// enforces that no literal tick constant ever enters this package.
+package jit
+
+import (
+	"fmt"
+
+	"mst/internal/bytecode"
+	"mst/internal/firefly"
+)
+
+// CompileThreshold is the invocation count at which a method becomes
+// hot. Template compilation is a one-time cost per method — compiled
+// bodies capture no heap addresses and persist across scavenges — so
+// the threshold is deliberately aggressive: it exists only to keep
+// one-shot doit methods interpreted.
+const CompileThreshold = 2
+
+// DeoptReason says why compiled code was abandoned mid-method and
+// execution fell back to the interpreter at a bytecode boundary.
+type DeoptReason uint8
+
+const (
+	// DeoptMegamorphic: an inline-cache site of the running method was
+	// retired megamorphic; the method is no longer polymorphic-stable.
+	DeoptMegamorphic DeoptReason = iota
+	// DeoptDecompile: the decompiler/debugger attached to the method.
+	DeoptDecompile
+	// DeoptSnapshot: the image is being snapshotted; every context must
+	// be parked in a pure interpreter state.
+	DeoptSnapshot
+	// DeoptUncommon: an uncommon bytecode (thisContext) executed; it is
+	// compiled as a trap that performs the operation and then bails.
+	DeoptUncommon
+	// DeoptDNU: the running compiled method hit doesNotUnderstand:.
+	DeoptDNU
+
+	numReasons
+)
+
+var reasonNames = [numReasons]string{
+	"megamorphic", "decompile", "snapshot", "uncommon-bytecode", "dnu",
+}
+
+func (r DeoptReason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("DeoptReason(%d)", int(r))
+}
+
+// Instr is one decoded bytecode instance. Operands are widened to ints
+// and jump targets resolved to absolute pcs, so the execution tier
+// never re-reads the code bytes.
+type Instr struct {
+	PC   int         // pc of the opcode byte
+	Op   bytecode.Op // the opcode
+	A, B int         // u8 operands (temp/ivar/literal index; nargs, firstArg)
+	Next int         // pc of the following instruction
+	// Target is the resolved jump target (OpJump*), or the pc just past
+	// the block body (OpPushBlock, whose body the block executes later).
+	Target int
+	// Cost is the virtual dispatch charge for this instruction,
+	// pre-resolved from the cost table by Specialize. Zero until then.
+	Cost firefly.Time
+	// Uncommon marks opcodes the execution tier compiles as deopt traps
+	// (thisContext): the trap performs the operation exactly, then
+	// abandons compiled code.
+	Uncommon bool
+}
+
+// Program is the compiled template of one method: its instructions in
+// pc order. CodeLen is the bytecode length, so the execution tier can
+// size its pc-indexed closure array.
+type Program struct {
+	Instrs  []Instr
+	CodeLen int
+	// DispatchCost is the uniform per-bytecode dispatch charge from the
+	// cost table (Specialize). The tiers share one cost model, so a
+	// compiled bytecode advances the virtual clock exactly as an
+	// interpreted one does.
+	DispatchCost firefly.Time
+}
+
+// Compile decodes code into a Program. It fails — making the method
+// ineligible for the compiled tier — on any opcode outside the known
+// set, on truncated operands, and on jump targets outside the method:
+// such methods stay on the interpreter, which shares the error paths
+// with the debugger.
+func Compile(code []byte) (*Program, error) {
+	p := &Program{CodeLen: len(code)}
+	for pc := 0; pc < len(code); {
+		op := bytecode.Op(code[pc])
+		if op >= bytecode.NumOps {
+			return nil, fmt.Errorf("jit: bad opcode %d at pc %d", op, pc)
+		}
+		opLen := 1 + bytecode.OperandLen(op)
+		if pc+opLen > len(code) {
+			return nil, fmt.Errorf("jit: truncated operands for %s at pc %d", op.Name(), pc)
+		}
+		ins := Instr{PC: pc, Op: op, Next: pc + opLen}
+		switch op {
+		case bytecode.OpPushTemp, bytecode.OpPushInstVar, bytecode.OpPushLiteral,
+			bytecode.OpPushGlobal, bytecode.OpStoreTemp, bytecode.OpStoreInstVar,
+			bytecode.OpStoreGlobal, bytecode.OpPopTemp, bytecode.OpPopInstVar,
+			bytecode.OpPopGlobal:
+			ins.A = int(code[pc+1])
+		case bytecode.OpPushInt8:
+			ins.A = int(int8(code[pc+1]))
+		case bytecode.OpJump, bytecode.OpJumpFalse, bytecode.OpJumpTrue:
+			off := int(int16(uint16(code[pc+1])<<8 | uint16(code[pc+2])))
+			ins.Target = ins.Next + off
+			if ins.Target < 0 || ins.Target > len(code) {
+				return nil, fmt.Errorf("jit: jump target %d out of range at pc %d", ins.Target, pc)
+			}
+		case bytecode.OpPushBlock:
+			ins.A = int(code[pc+1]) // nargs
+			ins.B = int(code[pc+2]) // firstArg
+			bodyLen := int(uint16(code[pc+3])<<8 | uint16(code[pc+4]))
+			ins.Target = ins.Next + bodyLen // pc just past the block body
+			if ins.Target > len(code) {
+				return nil, fmt.Errorf("jit: block body runs past end at pc %d", pc)
+			}
+		case bytecode.OpSend, bytecode.OpSendSuper:
+			ins.A = int(code[pc+1]) // selector literal index
+			ins.B = int(code[pc+2]) // nargs
+		case bytecode.OpPushThisContext:
+			// thisContext reifies the interpreter state; compiled as a
+			// trap that executes the push and then deoptimizes.
+			ins.Uncommon = true
+		}
+		p.Instrs = append(p.Instrs, ins)
+		pc += opLen
+	}
+	return p, nil
+}
+
+// Specialize pre-resolves every instruction's virtual dispatch cost
+// from the shared cost table. This is the only place the compiled tier
+// derives tick values, and they come exclusively from costs — the
+// msvet costcharge rule rejects any literal constant here.
+func (p *Program) Specialize(costs *firefly.Costs) {
+	p.DispatchCost = costs.Bytecode
+	for i := range p.Instrs {
+		p.Instrs[i].Cost = costs.Bytecode
+	}
+}

@@ -1,6 +1,6 @@
 // Package msvet is a custom vet suite enforcing the host-code
 // discipline this repository's virtual-time simulation depends on.
-// Four analyzers:
+// Five analyzers:
 //
 //   - virttime:   no time.Now / math/rand in virtual-time packages —
 //     host wall-clock or host randomness anywhere in the simulated
@@ -14,6 +14,10 @@
 //   - heapwrite:  no direct writes to heap words (`.mem[...]`) outside
 //     the heap package's barrier/collector files — everything else
 //     must go through Store and friends, which carry the store check.
+//   - costcharge: internal/jit never invents a virtual-time cost —
+//     literal firefly.Time values, .Advance calls, and literal Cost
+//     fields are forbidden there; compiled bytecodes must charge
+//     through the interpreter's shared cost table.
 //
 // The suite is intentionally stdlib-only (go/ast + go/parser): the
 // build environment has no module proxy access, so the
@@ -90,6 +94,7 @@ func Analyzers() []*Analyzer {
 		LockpairAnalyzer,
 		TraceguardAnalyzer,
 		HeapwriteAnalyzer,
+		CostchargeAnalyzer,
 	}
 }
 

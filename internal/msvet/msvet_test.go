@@ -457,6 +457,54 @@ func (w *worklist) stash(h *Heap, addr, v uint64) {
 	}
 }
 
+// ---- costcharge ----
+
+func TestCostchargeFlagsInventedCosts(t *testing.T) {
+	got := runOn(t, CostchargeAnalyzer, "internal/jit", map[string]string{
+		"bad.go": `package jit
+func price(p *Proc) {
+	c := firefly.Time(3)
+	p.Advance(c)
+	t := Template{Cost: 7}
+	use(t)
+}
+`,
+	})
+	if len(got) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Message, "cost") && !strings.Contains(f.Message, "charg") {
+			t.Errorf("finding %q does not mention costs or charging", f.Message)
+		}
+	}
+}
+
+func TestCostchargeAllowsTableDerivedCharges(t *testing.T) {
+	got := runOn(t, CostchargeAnalyzer, "internal/jit", map[string]string{
+		"ok.go": `package jit
+func plan(p *Program, n int) firefly.Time {
+	return firefly.Time(n-1) * p.DispatchCost
+}
+func zero() firefly.Time {
+	return firefly.Time(0)
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
+func TestCostchargeScopedToJITPackage(t *testing.T) {
+	got := runOn(t, CostchargeAnalyzer, "internal/interp", map[string]string{
+		"ok.go": `package interp
+func charge(in *Interp) {
+	in.p.Advance(firefly.Time(1))
+}
+`,
+	})
+	wantFindings(t, got, 0, "")
+}
+
 // ---- framework ----
 
 func TestFindingsSortedAndFormatted(t *testing.T) {
@@ -488,7 +536,7 @@ func TestAnalyzersComplete(t *testing.T) {
 	for _, a := range Analyzers() {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"virttime", "lockpair", "traceguard", "heapwrite"} {
+	for _, want := range []string{"virttime", "lockpair", "traceguard", "heapwrite", "costcharge"} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

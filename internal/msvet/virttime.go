@@ -15,6 +15,7 @@ var virtualTimePackages = map[string]bool{
 	"internal/compiler": true,
 	"internal/heap":     true,
 	"internal/interp":   true,
+	"internal/jit":      true,
 	"internal/display":  true,
 	"internal/image":    true,
 	"internal/trace":    true,
@@ -24,8 +25,8 @@ var virtualTimePackages = map[string]bool{
 
 // forbiddenImports maps import path → why it is forbidden.
 var forbiddenImports = map[string]string{
-	"time":        "host wall-clock breaks virtual-time determinism",
-	"math/rand":   "host randomness breaks virtual-time determinism",
+	"time":         "host wall-clock breaks virtual-time determinism",
+	"math/rand":    "host randomness breaks virtual-time determinism",
 	"math/rand/v2": "host randomness breaks virtual-time determinism",
 }
 

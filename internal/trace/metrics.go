@@ -95,6 +95,9 @@ type InterpMetrics struct {
 	SemWaits         uint64 `json:"sem_waits"`
 	SemSignals       uint64 `json:"sem_signals"`
 	VMErrors         uint64 `json:"vm_errors"`
+	JITCompiles      uint64 `json:"jit_compiles"`
+	JITDeopts        uint64 `json:"jit_deopts"`
+	JITBytecodes     uint64 `json:"jit_bytecodes"`
 
 	CacheHitPct float64 `json:"cache_hit_pct"`
 	ICHitPct    float64 `json:"ic_hit_pct"`

@@ -20,6 +20,9 @@ import (
 //	      virtual time and stay on the processor tracks only).
 //	pid 3 "gc" — scavenge and full-collection slices plus eden-full and
 //	      tenure instants.
+//	pid 4 "jit" — template-tier compile and deopt instants, one thread
+//	      per compiling processor (declared lazily, so traces from runs
+//	      with the tier off are unchanged).
 //
 // The ring buffer may have overwritten the oldest events, so pairing is
 // tolerant: an end with no matching begin is dropped, and a begin with
@@ -29,6 +32,7 @@ const (
 	pidProcs = 1
 	pidLocks = 2
 	pidGC    = 3
+	pidJIT   = 4
 )
 
 type pfEvent struct {
@@ -183,6 +187,22 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 		return 1 + int(worker)
 	}
 
+	// Template-tier tracks: compile/deopt instants per processor,
+	// declared lazily like the scavenge workers.
+	jitSeen := map[int32]bool{}
+	jitMeta := false
+	jitTid := func(proc int32) int {
+		if !jitMeta {
+			jitMeta = true
+			b.meta(pidJIT, "jit")
+		}
+		if !jitSeen[proc] {
+			jitSeen[proc] = true
+			b.thread(pidJIT, int(proc), "cpu "+itoa(int(proc)))
+		}
+		return int(proc)
+	}
+
 	for i := range events {
 		e := &events[i]
 		pt := track(e.Proc)
@@ -284,6 +304,11 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 				}
 				b.instant(pidProcs, pt.tid, name, e.At, nil)
 			}
+		case KJITCompile:
+			b.instant(pidJIT, jitTid(e.Proc), "compile "+e.Str, e.At,
+				map[string]any{"instrs": e.Arg1})
+		case KJITDeopt:
+			b.instant(pidJIT, jitTid(e.Proc), "deopt: "+e.Str, e.At, nil)
 		default:
 			if pt != nil {
 				var args map[string]any

@@ -182,6 +182,27 @@ func (pf *Profiler) Coverage() float64 {
 	return float64(named) / float64(total)
 }
 
+// JITTag is the suffix the interpreter appends to a frame name when its
+// busy ticks accrued in the msjit template tier, so the same selector
+// shows up as two buckets — interpreted and compiled.
+const JITTag = " [jit]"
+
+// TierBreakdown splits the charged busy ticks by execution tier:
+// compiled = flat time in frames carrying the JITTag suffix,
+// interpreted = every other named-selector tick.
+func (pf *Profiler) TierBreakdown() (interpreted, compiled int64) {
+	for n, v := range pf.flat {
+		switch {
+		case n == BucketVM || n == BucketIdle:
+		case strings.HasSuffix(n, JITTag):
+			compiled += v
+		default:
+			interpreted += v
+		}
+	}
+	return interpreted, compiled
+}
+
 // Report renders the top-N flat-time table with a coverage line.
 func (pf *Profiler) Report(topN int) string {
 	entries := pf.Entries()

@@ -64,6 +64,11 @@ const (
 	KScavWorkerEnd   // worker done; Arg1 = copied objects, Arg2 = copied words
 	KScavSteal       // worker stole a grey object; Arg1 = victim worker
 
+	// Template-tier events (emitted by internal/interp when Config.JIT
+	// is on). Proc is the compiling/deopting processor.
+	KJITCompile // method template-compiled; Str = selector, Arg1 = instrs
+	KJITDeopt   // compiled body bailed out; Arg1 = reason, Str = reason name
+
 	numKinds
 )
 
@@ -76,6 +81,7 @@ var kindNames = [numKinds]string{
 	"process-switch", "primitive", "ctx-alloc", "ctx-recycle",
 	"display-op", "input-op",
 	"scav-worker-begin", "scav-worker-end", "scav-steal",
+	"jit-compile", "jit-deopt",
 }
 
 func (k Kind) String() string {

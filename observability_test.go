@@ -101,10 +101,10 @@ func TestPerfettoExportWellFormed(t *testing.T) {
 	}
 
 	numProcs := sys.Metrics().Machine.NumProcs
-	procTracks := map[int]bool{}  // tids named on pid 1
-	lockTracks := map[int]bool{}  // tids named on pid 2
-	gcTracks := map[int]bool{}    // tids named on pid 3
-	slicesOn := map[int]bool{}    // pids with at least one complete slice
+	procTracks := map[int]bool{} // tids named on pid 1
+	lockTracks := map[int]bool{} // tids named on pid 2
+	gcTracks := map[int]bool{}   // tids named on pid 3
+	slicesOn := map[int]bool{}   // pids with at least one complete slice
 	for _, ev := range doc.TraceEvents {
 		if ev.Name == "thread_name" && ev.Ph == "M" {
 			switch ev.Pid {
@@ -166,6 +166,122 @@ func TestProfilerCoverage(t *testing.T) {
 		if !bytes.Contains([]byte(rep), []byte(want)) {
 			t.Errorf("profile report missing %q:\n%s", want, rep)
 		}
+	}
+}
+
+// observedJITSystem boots the template tier in its designed
+// configuration (MS+, inline caches on) with both observers attached
+// and runs two send-heavy macros — enough to cross the compile
+// threshold everywhere and retire at least one send site to
+// megamorphic, which forces a deopt.
+func observedJITSystem(t *testing.T) *core.System {
+	t.Helper()
+	st := bench.State{
+		Name: "ms-plus-jit",
+		Config: func() core.Config {
+			cfg := core.MSPlusConfig()
+			cfg.Processors = 1
+			cfg.JIT = true
+			cfg.TraceEvents = trace.DefaultRingSize
+			cfg.Profile = true
+			return cfg
+		},
+	}
+	sys, err := bench.NewBenchSystem(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"printClassHierarchy", "findAllImplementors"} {
+		if _, err := bench.RunMacro(sys, w); err != nil {
+			sys.Shutdown()
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestJITObservability(t *testing.T) {
+	sys := observedJITSystem(t)
+	defer sys.Shutdown()
+
+	// The tier ran: compile and deopt counters moved, and every compile
+	// and deopt left a flight-recorder event on the jit track.
+	st := sys.Stats().Interp
+	if st.JITCompiles == 0 || st.JITBytecodes == 0 {
+		t.Fatalf("tier did not run: compiles=%d bytecodes=%d", st.JITCompiles, st.JITBytecodes)
+	}
+	if st.JITDeopts == 0 {
+		t.Fatalf("no deopt: the workload's megamorphic sites should retire at least one compiled method")
+	}
+	var compiles, deopts int
+	for _, ev := range sys.VM.M.Recorder().Events() {
+		switch ev.Kind {
+		case trace.KJITCompile:
+			compiles++
+			if ev.Str == "" {
+				t.Error("KJITCompile event without a selector")
+			}
+		case trace.KJITDeopt:
+			deopts++
+			if ev.Str == "" {
+				t.Error("KJITDeopt event without a reason name")
+			}
+		}
+	}
+	if compiles == 0 {
+		t.Error("no KJITCompile events in the ring")
+	}
+	if deopts == 0 {
+		t.Error("no KJITDeopt events in the ring")
+	}
+
+	// The Perfetto export carries them as instants on the jit track
+	// (pid 4), which is named.
+	var buf bytes.Buffer
+	if err := sys.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	jitNamed, jitInstants := false, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid != 4 {
+			continue
+		}
+		if ev.Ph == "M" && ev.Name == "process_name" || ev.Ph == "M" && ev.Name == "thread_name" {
+			jitNamed = true
+		}
+		if ev.Ph == "i" {
+			jitInstants++
+		}
+	}
+	if !jitNamed {
+		t.Error("jit track (pid 4) is not named in the Perfetto export")
+	}
+	if jitInstants == 0 {
+		t.Error("no jit instants (compiles/deopts) in the Perfetto export")
+	}
+
+	// The profiler attributes time to the compiled tier.
+	sys.VM.ProfilerFlush()
+	pf := sys.VM.Profiler()
+	if pf == nil {
+		t.Fatal("profiler not enabled")
+	}
+	interpreted, compiled := pf.TierBreakdown()
+	if compiled == 0 {
+		t.Errorf("profiler attributes no time to the compiled tier (interpreted=%d)", interpreted)
+	}
+	if interpreted == 0 {
+		t.Errorf("profiler attributes no time to the interpreted tier (compiled=%d)", compiled)
 	}
 }
 
