@@ -20,6 +20,13 @@
 //	                           Chrome trace-event JSON for ui.perfetto.dev
 //	msbench -profile           selector-level virtual-time profile of the
 //	                           same run (combine with -trace for both)
+//	msbench -allocprofile      allocation-site profile of the same run:
+//	                           objects/words per Class>>selector, survivor
+//	                           and tenure rates, object-age census
+//	msbench -gcreport          GC latency rollup of a busy benchmark:
+//	                           pause/phase percentiles, dispatch latency,
+//	                           lock waits, allocation sites; combine with
+//	                           -parscavenge for the critical-path table
 //	msbench -sanitize          run every state plain and under the mscheck
 //	                           invariant sanitizer; report violations,
 //	                           bit-identity, and host-side checker cost
@@ -61,6 +68,9 @@ func main() {
 	contention := flag.Bool("contention", false, "per-state lock contention report (extension)")
 	tracePath := flag.String("trace", "", "flight-record a busy benchmark and write Perfetto JSON to this file")
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile of a busy benchmark")
+	allocProf := flag.Bool("allocprofile", false, "print the allocation-site profile of a busy benchmark (objects/words per Class>>selector, survivor and tenure rates)")
+	gcReport := flag.Bool("gcreport", false, "print the GC latency rollup of a busy benchmark (pause/phase percentiles, lock waits, allocation sites)")
+	parScav := flag.Bool("parscavenge", false, "use the cooperative parallel scavenger for the -gcreport run (adds the critical-path table)")
 	sanFlag := flag.Bool("sanitize", false, "run every state under the mscheck invariant sanitizer and report overhead")
 	parallel := flag.Bool("parallel", false, "run the true-parallel host sweep (goroutine processors, wall-clock speedup)")
 	gatePath := flag.String("gate", "", "compare a fresh run against this baseline json and fail on regression")
@@ -69,7 +79,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*sanFlag && !*parallel && *gatePath == "" && !*fingerprint && !*all {
+	if !*table2 && !*figure2 && !*table3 && *ablation == "" && *jsonPath == "" && !*sweep && !*contention && !*micro && !*paradigms && *tracePath == "" && !*profile && !*allocProf && !*gcReport && !*sanFlag && !*parallel && *gatePath == "" && !*fingerprint && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -160,14 +170,20 @@ func main() {
 		check(err)
 		fmt.Println(r.Format())
 	}
-	if *tracePath != "" || *profile {
+	if *tracePath != "" || *profile || *allocProf {
 		fmt.Fprintln(os.Stderr, "running observed benchmark (flight recorder on)...")
-		r, err := bench.RunObserved(*tracePath, *profile)
+		r, err := bench.RunObserved(*tracePath, *profile, *allocProf)
 		check(err)
 		r.Format(os.Stdout)
 		if *tracePath != "" {
 			fmt.Fprintf(os.Stderr, "wrote %s (open in ui.perfetto.dev)\n", *tracePath)
 		}
+	}
+	if *gcReport || *all {
+		fmt.Fprintln(os.Stderr, "running gc report (histograms + allocation profiler on)...")
+		rep, err := bench.RunGCReport(*parScav)
+		check(err)
+		fmt.Print(rep)
 	}
 	if *sanFlag || *all {
 		fmt.Fprintln(os.Stderr, "running sanitized states (plain + mscheck each)...")

@@ -9,6 +9,12 @@
 //	mst -trace out.json -e "..."     flight-record the run; open the
 //	                                 JSON in ui.perfetto.dev
 //	mst -profile -e "..."            selector-level virtual-time profile
+//	mst -allocprofile -e "..."       allocation-site profile: objects and
+//	                                 words per Class>>selector, survivor
+//	                                 and tenure rates, object-age census
+//	mst -gcreport -e "..."           GC latency rollup: pause and phase
+//	                                 percentiles, dispatch latency, lock
+//	                                 waits, scavenge critical paths
 //	mst -sanitize -e "..."           run under the mscheck invariant
 //	                                 sanitizer; print its report, exit 1
 //	                                 on any violation
@@ -47,6 +53,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print system statistics after evaluation")
 	tracePath := flag.String("trace", "", "flight-record the run and write Perfetto trace JSON to this file")
 	profile := flag.Bool("profile", false, "print the selector-level virtual-time profile after evaluation")
+	allocProf := flag.Bool("allocprofile", false, "print the allocation-site profile (objects/words per Class>>selector, survivor and tenure rates, age census) after evaluation")
+	gcReport := flag.Bool("gcreport", false, "print the GC latency rollup (pause/phase percentiles, dispatch latency, lock waits, critical paths) after evaluation")
 	sanFlag := flag.Bool("sanitize", false, "attach the mscheck invariant sanitizer; report violations and exit non-zero on any")
 	parallel := flag.Bool("parallel", false, "true-parallel host mode: run virtual processors on real goroutines (wall-clock scheduling; virtual times become host-schedule-dependent)")
 	parScav := flag.Bool("parscavenge", false, "cooperative parallel scavenging: all processors copy survivors during the stop-the-world window (works in both the deterministic and -parallel modes)")
@@ -77,6 +85,8 @@ func main() {
 		cfg.TraceEvents = mst.DefaultTraceEvents
 	}
 	cfg.Profile = *profile
+	cfg.AllocProfile = *allocProf
+	cfg.Histograms = *gcReport
 	cfg.Sanitize = *sanFlag
 	cfg.Parallel = *parallel
 	cfg.ParScavenge = *parScav
@@ -122,6 +132,16 @@ func main() {
 	}
 	if *profile {
 		rep, err := sys.ProfileReport(25)
+		check(err)
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if *allocProf {
+		rep, err := sys.AllocProfileReport(10)
+		check(err)
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if *gcReport {
+		rep, err := sys.GCReport()
 		check(err)
 		fmt.Fprint(os.Stderr, rep)
 	}

@@ -93,6 +93,75 @@ func TestGoldenTraceInvariance(t *testing.T) {
 	}
 }
 
+// TestGoldenHistogramInvariance: the latency histograms and the
+// allocation-site profiler must be as invisible as the flight recorder.
+// Every recording site is a nil-guarded host-side observation — pause
+// and phase ticks, dispatch latency, per-lock waits, allocation-site
+// attribution — so turning them all on must leave the virtual times and
+// the complete Stats snapshot bit-identical in every standard state.
+func TestGoldenHistogramInvariance(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(observed bool) outcome {
+				s := st
+				if observed {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.Histograms = true
+						cfg.AllocProfile = true
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				if observed {
+					lat := sys.Metrics().Latency
+					if lat == nil {
+						t.Fatal("observed run has no latency section")
+					}
+					if lat.Dispatch.Count == 0 {
+						t.Error("observed run recorded no dispatch latencies")
+					}
+					if o.stats.Heap.Scavenges > 0 && lat.ScavengePause.Count == 0 {
+						t.Error("scavenges ran but recorded no pause samples")
+					}
+					if rep, err := sys.AllocProfileReport(10); err != nil || rep == "" {
+						t.Errorf("allocation profile unavailable: %v", err)
+					}
+				}
+				return o
+			}
+			plain, observed := run(false), run(true)
+			if !reflect.DeepEqual(plain.vms, observed.vms) {
+				t.Errorf("%s: virtual times diverge with histograms on: %v vs %v",
+					st.Name, plain.vms, observed.vms)
+			}
+			if !reflect.DeepEqual(plain.stats, observed.stats) {
+				t.Errorf("%s: stats diverge with histograms on:\nplain:    %+v\nobserved: %+v",
+					st.Name, plain.stats, observed.stats)
+			}
+		})
+	}
+}
+
 // TestGoldenSanitizeInvariance: the mscheck invariant sanitizer must be
 // as invisible as the flight recorder — sanitizer-on runs leave virtual
 // time and every counter bit-identical — and the real workload must be

@@ -191,6 +191,8 @@ func RunGate(baseline, fresh *JSONReport, baselinePath string, tol float64) *Gat
 			gateExact(g, where, "scavenges", br.Scavenges, fr.Scavenges)
 			gateExact(g, where, "copied_words", br.CopiedWords, fr.CopiedWords)
 			gateExact(g, where, "steals", br.Steals, fr.Steals)
+			gateExact(g, where, "serial_pause", fmt.Sprint(br.SerialPause), fmt.Sprint(fr.SerialPause))
+			gateExact(g, where, "parallel_pause", fmt.Sprint(br.ParallelPause), fmt.Sprint(fr.ParallelPause))
 		}
 	}
 
@@ -275,6 +277,55 @@ func gateMetrics(g *GateReport, state string, base, fresh *trace.Metrics) {
 	gateExact(g, w, "heap.allocated_words", base.Heap.AllocatedWords, fresh.Heap.AllocatedWords)
 	gateExact(g, w, "heap.scavenges", base.Heap.Scavenges, fresh.Heap.Scavenges)
 	gateExact(g, w, "heap.store_checks", base.Heap.StoreChecks, fresh.Heap.StoreChecks)
+	gateExact(g, w, "heap.scavenge_ticks", base.Heap.ScavengeTicks, fresh.Heap.ScavengeTicks)
+	gateExact(g, w, "heap.scavenge_max_pause_ticks", base.Heap.ScavengeMaxPause, fresh.Heap.ScavengeMaxPause)
+	gateExact(g, w, "heap.full_gc_max_pause_ticks", base.Heap.FullGCMaxPause, fresh.Heap.FullGCMaxPause)
+	gateLatency(g, w+"/latency", base.Latency, fresh.Latency)
+}
+
+// gateHist pins one histogram exactly: the counts are virtual-time
+// samples dropped into fixed buckets, so in deterministic mode every
+// bucket is bit-reproducible — the derived percentiles follow for free.
+func gateHist(g *GateReport, where, what string, base, fresh *trace.HistSnapshot) {
+	gateExact(g, where, what+".count", base.Count, fresh.Count)
+	gateExact(g, where, what+".sum", base.Sum, fresh.Sum)
+	gateExact(g, where, what+".max", base.Max, fresh.Max)
+	gateExact(g, where, what+".buckets", fmt.Sprint(base.Buckets), fmt.Sprint(fresh.Buckets))
+}
+
+// gateLatency compares the schema-3 latency section. Either both runs
+// carry it or neither does; an asymmetry means the histograms knob
+// changed, which is itself a regression.
+func gateLatency(g *GateReport, w string, base, fresh *trace.LatencyMetrics) {
+	if base == nil && fresh == nil {
+		return
+	}
+	if base == nil || fresh == nil {
+		g.fail(w, "latency section present=%v in baseline, present=%v in fresh run",
+			base != nil, fresh != nil)
+		return
+	}
+	gateHist(g, w, "scavenge_pause", &base.ScavengePause, &fresh.ScavengePause)
+	gateHist(g, w, "scav_rendezvous", &base.ScavRendezvous, &fresh.ScavRendezvous)
+	gateHist(g, w, "scav_copy", &base.ScavCopy, &fresh.ScavCopy)
+	gateHist(g, w, "scav_term", &base.ScavTerm, &fresh.ScavTerm)
+	gateHist(g, w, "full_gc_pause", &base.FullGCPause, &fresh.FullGCPause)
+	gateHist(g, w, "dispatch", &base.Dispatch, &fresh.Dispatch)
+	freshLocks := map[string]*trace.LockWaitSnapshot{}
+	for i := range fresh.LockWait {
+		freshLocks[fresh.LockWait[i].Name] = &fresh.LockWait[i]
+	}
+	gateExact(g, w, "lock_wait series", len(base.LockWait), len(fresh.LockWait))
+	for i := range base.LockWait {
+		bl := &base.LockWait[i]
+		fl, ok := freshLocks[bl.Name]
+		if !ok {
+			g.fail(w, "lock-wait series %q missing from fresh run", bl.Name)
+			continue
+		}
+		gateHist(g, w, "lock_wait/"+bl.Name, &bl.Hist, &fl.Hist)
+	}
+	gateExact(g, w, "critical_paths", fmt.Sprint(base.CriticalPaths), fmt.Sprint(fresh.CriticalPaths))
 }
 
 // Format renders the gate verdict for terminal output.

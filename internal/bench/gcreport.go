@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mst/internal/core"
+)
+
+// The GC latency rollup (msbench -gcreport): one observed run of the
+// ms-busy standard state with the latency registry and the
+// allocation-site profiler attached, rendered as a human-readable
+// report — pause and phase percentiles, dispatch latency, lock waits,
+// parallel-scavenge critical paths, the top allocation sites with
+// survivor/tenure rates, and the object-age census.
+
+// RunGCReport runs the rollup workload and renders the report.
+// parScavenge selects the cooperative parallel scavenger so the
+// critical-path section has material.
+func RunGCReport(parScavenge bool) (string, error) {
+	states := StandardStates()
+	st := states[len(states)-1] // ms-busy: locks contend, the scavenger runs
+	base := st.Config
+	st.Config = func() core.Config {
+		cfg := base()
+		cfg.Histograms = true
+		cfg.AllocProfile = true
+		cfg.ParScavenge = parScavenge
+		return cfg
+	}
+	sys, err := NewBenchSystem(st)
+	if err != nil {
+		return "", err
+	}
+	defer sys.Shutdown()
+
+	const selector = "printClassHierarchy"
+	ms, err := RunMacro(sys, selector)
+	if err != nil {
+		return "", fmt.Errorf("bench: gcreport %s/%s: %w", st.Name, selector, err)
+	}
+
+	gc, err := sys.GCReport()
+	if err != nil {
+		return "", err
+	}
+	alloc, err := sys.AllocProfileReport(10)
+	if err != nil {
+		return "", err
+	}
+	hs := sys.VM.H.Stats()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "GC report: %s on %s (%d virtual ms)\n", selector, st.Name, ms)
+	fmt.Fprintf(&b, "scavenges: %d (%d parallel), full collections: %d, max pause %d / %d ticks\n\n",
+		hs.Scavenges, hs.ParScavenges, hs.FullCollections,
+		int64(hs.ScavengeMaxPause), int64(hs.FullGCMaxPause))
+	b.WriteString(gc)
+	b.WriteString("\n")
+	b.WriteString(alloc)
+	return b.String(), nil
+}

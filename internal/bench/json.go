@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"mst/internal/core"
 	"mst/internal/trace"
 )
 
@@ -81,6 +82,16 @@ func RunJSONReport(includeJIT bool) (*JSONReport, error) {
 		SchemaVersion: trace.MetricsSchemaVersion,
 	}
 	for _, st := range StandardStates() {
+		// The latency registry rides every standard state: histograms
+		// are pure observation (TestGoldenHistogramInvariance), so the
+		// Table 2 numbers are unchanged and the gate can pin the pause,
+		// dispatch, and lock-wait bucket counts exactly.
+		base := st.Config
+		st.Config = func() core.Config {
+			cfg := base()
+			cfg.Histograms = true
+			return cfg
+		}
 		sys, err := NewBenchSystem(st)
 		if err != nil {
 			return nil, err

@@ -13,19 +13,20 @@ import (
 // trace, the selector profile, and the metrics snapshot, produced
 // together by RunObserved for the msbench -trace / -profile flags.
 type ObserveResult struct {
-	State     string
-	Benchmark string
-	VirtualMS int64
-	Metrics   trace.Metrics
-	Profile   string // empty unless profiling was requested
+	State        string
+	Benchmark    string
+	VirtualMS    int64
+	Metrics      trace.Metrics
+	Profile      string // empty unless profiling was requested
+	AllocProfile string // empty unless allocation profiling was requested
 }
 
 // RunObserved runs one macro benchmark on the ms-busy standard state
-// with the flight recorder attached (and, when profile is set, the
-// selector profiler). The busy state is the interesting one to observe:
-// all five processors execute, the locks contend, and the scavenger
-// runs. The trace is written to tracePath when non-empty.
-func RunObserved(tracePath string, profile bool) (*ObserveResult, error) {
+// with the flight recorder attached (and, when profile or allocProfile
+// are set, the matching profilers). The busy state is the interesting
+// one to observe: all five processors execute, the locks contend, and
+// the scavenger runs. The trace is written to tracePath when non-empty.
+func RunObserved(tracePath string, profile, allocProfile bool) (*ObserveResult, error) {
 	states := StandardStates()
 	st := states[len(states)-1] // ms-busy
 	base := st.Config
@@ -33,6 +34,7 @@ func RunObserved(tracePath string, profile bool) (*ObserveResult, error) {
 		cfg := base()
 		cfg.TraceEvents = trace.DefaultRingSize
 		cfg.Profile = profile
+		cfg.AllocProfile = allocProfile
 		return cfg
 	}
 	sys, err := NewBenchSystem(st)
@@ -59,6 +61,13 @@ func RunObserved(tracePath string, profile bool) (*ObserveResult, error) {
 		}
 		res.Profile = rep
 	}
+	if allocProfile {
+		rep, err := sys.AllocProfileReport(10)
+		if err != nil {
+			return nil, err
+		}
+		res.AllocProfile = rep
+	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -82,5 +91,8 @@ func (r *ObserveResult) Format(w io.Writer) {
 		r.Metrics.Trace.Events, r.Metrics.Trace.Dropped)
 	if r.Profile != "" {
 		fmt.Fprintf(w, "\n%s", r.Profile)
+	}
+	if r.AllocProfile != "" {
+		fmt.Fprintf(w, "\n%s", r.AllocProfile)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"mst/internal/firefly"
 	"mst/internal/heap"
 	"mst/internal/object"
+	"mst/internal/trace"
 )
 
 // The parallel-scavenge ablation (msbench -ablation parscavenge): a
@@ -38,6 +39,10 @@ type ParScavRow struct {
 	CopiedWords   uint64  `json:"copied_words"`
 	Steals        uint64  `json:"steals"`
 	Speedup       float64 `json:"speedup"` // serial ticks / parallel ticks
+	// Per-scavenge STW pause distributions (virtual ticks), one set per
+	// scavenger variant. Deterministic, so they ride the gate.
+	SerialPause   trace.HistSnapshot `json:"serial_pause"`
+	ParallelPause trace.HistSnapshot `json:"parallel_pause"`
 }
 
 // ParScavReport is the full ablation.
@@ -81,9 +86,12 @@ func parScavWorkload(h *heap.Heap, p *firefly.Proc) {
 }
 
 // runParScavOnce runs the workload on a fresh machine and returns the
-// heap statistics.
-func runParScavOnce(procs int, parScav bool) (heap.Stats, error) {
+// heap statistics plus the per-scavenge pause distribution. The latency
+// registry attaches before heap.New so the heap caches it.
+func runParScavOnce(procs int, parScav bool) (heap.Stats, trace.HistSnapshot, error) {
 	m := firefly.New(procs, firefly.DefaultCosts())
+	lh := trace.NewLatencyHists()
+	m.SetLatencyHists(lh)
 	cfg := heap.Config{
 		OldWords:      1 << 20,
 		EdenWords:     32 << 10,
@@ -96,10 +104,13 @@ func runParScavOnce(procs int, parScav bool) (heap.Stats, error) {
 	h := heap.New(m, cfg)
 	m.Start(0, func(p *firefly.Proc) { parScavWorkload(h, p) })
 	if r := m.Run(nil); r != firefly.StopAllDone {
-		return heap.Stats{}, fmt.Errorf("bench: parscavenge (procs=%d par=%v): machine stopped with %v",
+		return heap.Stats{}, trace.HistSnapshot{}, fmt.Errorf(
+			"bench: parscavenge (procs=%d par=%v): machine stopped with %v",
 			procs, parScav, r)
 	}
-	return h.Stats(), nil
+	snap := lh.ScavengePause.Snapshot()
+	snap.Buckets = nil // the summary columns suffice for the ablation
+	return h.Stats(), snap, nil
 }
 
 // RunParScavengeAblation measures the ablation. Each row cross-checks
@@ -108,11 +119,11 @@ func runParScavOnce(procs int, parScav bool) (heap.Stats, error) {
 func RunParScavengeAblation() (*ParScavReport, error) {
 	r := &ParScavReport{}
 	for _, procs := range parScavProcCounts {
-		serial, err := runParScavOnce(procs, false)
+		serial, serialPause, err := runParScavOnce(procs, false)
 		if err != nil {
 			return nil, err
 		}
-		par, err := runParScavOnce(procs, true)
+		par, parPause, err := runParScavOnce(procs, true)
 		if err != nil {
 			return nil, err
 		}
@@ -128,6 +139,8 @@ func RunParScavengeAblation() (*ParScavReport, error) {
 			Scavenges:     par.Scavenges,
 			CopiedWords:   par.CopiedWords,
 			Steals:        par.ScavengeSteals,
+			SerialPause:   serialPause,
+			ParallelPause: parPause,
 		}
 		if row.ParallelTicks > 0 {
 			row.Speedup = float64(row.SerialTicks) / float64(row.ParallelTicks)
@@ -148,6 +161,14 @@ func FormatParScavenge(r *ParScavReport) string {
 		fmt.Fprintf(&b, "%6d %14d %14d %10d %12d %8d %7.2fx\n",
 			row.Procs, row.SerialTicks, row.ParallelTicks,
 			row.Scavenges, row.CopiedWords, row.Steals, row.Speedup)
+	}
+	b.WriteString("\nPer-scavenge STW pause ticks (p50/p90/p99/max)\n")
+	fmt.Fprintf(&b, "%6s %31s %31s\n", "procs", "serial", "parallel")
+	for _, row := range r.Rows {
+		s, p := row.SerialPause, row.ParallelPause
+		fmt.Fprintf(&b, "%6d %31s %31s\n", row.Procs,
+			fmt.Sprintf("%d/%d/%d/%d", s.P50, s.P90, s.P99, s.Max),
+			fmt.Sprintf("%d/%d/%d/%d", p.P50, p.P90, p.P99, p.Max))
 	}
 	return b.String()
 }

@@ -69,9 +69,15 @@ type Config struct {
 	// Observability (zero cost when off; never changes virtual time or
 	// any counter when on). TraceEvents is the flight-recorder ring
 	// capacity in events (0 disables tracing); Profile attaches the
-	// selector-level virtual-time profiler after boot.
-	TraceEvents int
-	Profile     bool
+	// selector-level virtual-time profiler after boot; Histograms
+	// attaches the latency-distribution registry (GC pauses, scavenge
+	// phases, dispatch latency, per-lock acquire waits — Metrics
+	// schemaVersion 3's latency section); AllocProfile attaches the
+	// allocation-site profiler after boot (deterministic mode only).
+	TraceEvents  int
+	Profile      bool
+	Histograms   bool
+	AllocProfile bool
 	// Sanitize attaches the mscheck invariant sanitizer (lockset +
 	// write-barrier verifier); violations are collected, never fatal.
 	// Like tracing, it reads virtual clocks but never advances them:
@@ -201,6 +207,11 @@ func NewSystem(cfg Config) (*System, error) {
 		// by oops; profile deterministic runs instead.
 		return nil, fmt.Errorf("core: -profile requires the deterministic mode (drop -parallel)")
 	}
+	if cfg.Parallel && cfg.AllocProfile {
+		// Site attribution reads the per-processor interpreter state
+		// mid-bytecode and keeps unsynchronized address maps.
+		return nil, fmt.Errorf("core: -allocprofile requires the deterministic mode (drop -parallel)")
+	}
 	hcfg := heap.Config{
 		OldWords:      cfg.OldWords,
 		EdenWords:     cfg.EdenWords,
@@ -244,6 +255,11 @@ func NewSystem(cfg Config) (*System, error) {
 		// register their guarded structures during construction.
 		m.SetSanitizer(sanitize.New())
 	}
+	if cfg.Histograms {
+		// Likewise before boot: the heap caches the registry and locks
+		// pick up their wait histograms as they are registered.
+		m.SetLatencyHists(trace.NewLatencyHists())
+	}
 	sources := append([]string{busyWorkerSource}, cfg.ExtraSources...)
 	vm, err := image.BootOn(m, hcfg, vcfg, sources...)
 	if err != nil {
@@ -251,6 +267,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Profile {
 		vm.EnableProfiler()
+	}
+	if cfg.AllocProfile {
+		vm.EnableAllocProfiler()
 	}
 	if cfg.Parallel {
 		// Boot (image construction) ran deterministically; from here on
@@ -390,12 +409,14 @@ func (s *System) Metrics() trace.Metrics {
 		ParScavenges:      hs.ParScavenges,
 		ScavengeSteals:    hs.ScavengeSteals,
 		ScavengeTicks:     int64(hs.ScavengeTime),
+		ScavengeMaxPause:  int64(hs.ScavengeMaxPause),
 		LastSurvivors:     hs.LastSurvivors,
 		RememberedPeak:    hs.RememberedPeak,
 		OldWordsInUse:     hs.OldWordsInUse,
 		EdenWordsInUse:    hs.EdenWordsInUse,
 		FullCollections:   hs.FullCollections,
 		FullGCTicks:       int64(hs.FullGCTime),
+		FullGCMaxPause:    int64(hs.FullGCMaxPause),
 		ReclaimedOldWords: hs.ReclaimedOldWords,
 	}
 	mt.Interp = trace.InterpMetrics{
@@ -425,6 +446,9 @@ func (s *System) Metrics() trace.Metrics {
 	if r := m.Recorder(); r != nil {
 		mt.Trace = trace.TraceMetrics{Events: r.Total(), Dropped: r.Dropped()}
 	}
+	if lh := m.LatencyHists(); lh != nil {
+		mt.Latency = lh.Snapshot()
+	}
 	mt.Derive()
 	return mt
 }
@@ -448,6 +472,29 @@ func (s *System) ProfileReport(topN int) (string, error) {
 	}
 	s.VM.ProfilerFlush()
 	return pf.Report(topN), nil
+}
+
+// GCReport renders the latency-distribution rollup: GC pause and
+// scavenge-phase percentiles, dispatch latency, lock waits, and the
+// parallel-scavenge critical paths. It errors when histograms were not
+// enabled.
+func (s *System) GCReport() (string, error) {
+	lh := s.VM.M.LatencyHists()
+	if lh == nil {
+		return "", fmt.Errorf("core: histograms were not enabled (Config.Histograms)")
+	}
+	return lh.Report(), nil
+}
+
+// AllocProfileReport renders the allocation-site profiler's top-N table
+// and the object-demographics census. It errors when allocation
+// profiling was not enabled.
+func (s *System) AllocProfileReport(topN int) (string, error) {
+	ap := s.VM.AllocProfiler()
+	if ap == nil {
+		return "", fmt.Errorf("core: allocation profiling was not enabled (Config.AllocProfile)")
+	}
+	return ap.Report(topN), nil
 }
 
 // Sanitizer returns the attached invariant checker, or nil when

@@ -52,6 +52,11 @@ type Spinlock struct {
 	acquisitions atomic.Uint64
 	contentions  atomic.Uint64
 	spinTime     atomic.Int64 // ticks
+
+	// waitHist, when the latency registry is attached, receives every
+	// acquire's virtual wait (spin ticks; 0 when uncontended). Pure
+	// observation: recording never charges virtual time.
+	waitHist *trace.Histogram
 }
 
 // NewSpinlock registers a named spinlock with the machine (for
@@ -63,7 +68,18 @@ func (m *Machine) NewSpinlock(name string, enabled bool) *Spinlock {
 	if s := m.san; s != nil {
 		s.RegisterLock(name, enabled)
 	}
+	if lh := m.lat; lh != nil && enabled {
+		l.waitHist = lh.LockHist(name)
+	}
 	return l
+}
+
+// recordWait feeds one acquire's virtual wait (0 when uncontended) to
+// the lock's latency histogram, when one is attached.
+func (l *Spinlock) recordWait(spin Time) {
+	if hh := l.waitHist; hh != nil {
+		hh.Record(int64(spin))
+	}
 }
 
 // Acquire takes the lock at the processor's current virtual time,
@@ -82,13 +98,14 @@ func (l *Spinlock) Acquire(p *Proc) {
 		panic(fmt.Sprintf("firefly: processor %d acquired lock %q while processor %d is inside the critical section (a critical section must not yield)",
 			p.id, l.name, l.holder))
 	}
+	var spin Time
 	if p.clock < l.freeAt {
 		// The lock is held during [p.clock, freeAt) by a processor
 		// ahead in virtual time: spin in test-and-set + Delay rounds.
 		l.contentions.Add(1)
 		wait := l.freeAt - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
-		spin := rounds * c.LockSpinRetry
+		spin = rounds * c.LockSpinRetry
 		if r := p.m.rec; r != nil {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, l.name)
 		}
@@ -98,6 +115,7 @@ func (l *Spinlock) Acquire(p *Proc) {
 	l.held = true
 	l.holder = p.id
 	l.acquisitions.Add(1)
+	l.recordWait(spin)
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
 	}
@@ -116,6 +134,7 @@ func (l *Spinlock) acquirePar(p *Proc) {
 	me := int32(p.id) + 1
 	if l.state.CompareAndSwap(0, me) {
 		l.acquisitions.Add(1)
+		l.recordWait(0)
 		l.emitAcquire(p)
 		return
 	}
@@ -132,6 +151,7 @@ func (l *Spinlock) acquirePar(p *Proc) {
 	}
 	l.spinTime.Add(int64(spin))
 	l.acquisitions.Add(1)
+	l.recordWait(spin)
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, l.name)
 	}
@@ -158,6 +178,7 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 		p.Advance(p.m.costs.LockTAS)
 		if l.state.CompareAndSwap(0, int32(p.id)+1) {
 			l.acquisitions.Add(1)
+			l.recordWait(0)
 			l.emitAcquire(p)
 			return true
 		}
@@ -182,6 +203,7 @@ func (l *Spinlock) TryAcquire(p *Proc) bool {
 	l.held = true
 	l.holder = p.id
 	l.acquisitions.Add(1)
+	l.recordWait(0)
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, l.name)
 	}
@@ -293,6 +315,7 @@ func (l *RWSpinlock) AcquireRead(p *Proc) {
 				r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
 			}
 		}
+		in.recordWait(spin)
 		if r := p.m.rec; r != nil {
 			r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 0, in.name)
 		}
@@ -303,17 +326,19 @@ func (l *RWSpinlock) AcquireRead(p *Proc) {
 	}
 	p.Advance(c.LockTAS)
 	in.acquisitions.Add(1)
+	var spin Time
 	if p.clock < in.freeAt { // a writer holds the lock until freeAt
 		in.contentions.Add(1)
 		wait := in.freeAt - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
-		spin := rounds * c.LockSpinRetry
+		spin = rounds * c.LockSpinRetry
 		if r := p.m.rec; r != nil {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
 		}
 		p.AdvanceSpin(spin)
 		in.spinTime.Add(int64(spin))
 	}
+	in.recordWait(spin)
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 0, in.name)
 	}
@@ -373,6 +398,7 @@ func (l *RWSpinlock) AcquireWrite(p *Proc) {
 				r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
 			}
 		}
+		in.recordWait(spin)
 		if r := p.m.rec; r != nil {
 			r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, in.name)
 		}
@@ -387,17 +413,19 @@ func (l *RWSpinlock) AcquireWrite(p *Proc) {
 	if l.readsEnd > horizon {
 		horizon = l.readsEnd
 	}
+	var spin Time
 	if p.clock < horizon {
 		in.contentions.Add(1)
 		wait := horizon - p.clock
 		rounds := (wait + c.LockSpinRetry - 1) / c.LockSpinRetry
-		spin := rounds * c.LockSpinRetry
+		spin = rounds * c.LockSpinRetry
 		if r := p.m.rec; r != nil {
 			r.Emit(trace.KLockContend, p.id, int64(p.clock), int64(spin), 0, in.name)
 		}
 		p.AdvanceSpin(spin)
 		in.spinTime.Add(int64(spin))
 	}
+	in.recordWait(spin)
 	if r := p.m.rec; r != nil {
 		r.Emit(trace.KLockAcquire, p.id, int64(p.clock), 0, 1, in.name)
 	}

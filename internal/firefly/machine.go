@@ -288,6 +288,12 @@ type Machine struct {
 	// virtual time.
 	san *sanitize.Checker
 
+	// lat is the optional latency-histogram registry; nil means the
+	// latency distributions are off and every recording site reduces to
+	// one pointer check. Like the recorder it is pure observation: it
+	// never charges virtual time.
+	lat *trace.LatencyHists
+
 	// activeProcs counts processors currently executing Smalltalk
 	// Processes (not idling). The shared memory bus degrades as more
 	// processors actively execute; see Costs.BusDivisor.
@@ -389,6 +395,24 @@ func (m *Machine) SetSanitizer(s *sanitize.Checker) {
 // Sanitizer returns the attached invariant checker, or nil.
 func (m *Machine) Sanitizer() *sanitize.Checker { return m.san }
 
+// SetLatencyHists attaches the latency-distribution registry; nil
+// detaches it. Locks registered before attachment are backfilled with
+// their acquire-wait histograms so the attach order relative to
+// subsystem construction does not matter.
+func (m *Machine) SetLatencyHists(l *trace.LatencyHists) {
+	m.lat = l
+	for _, lk := range m.locks {
+		if l != nil && lk.enabled {
+			lk.waitHist = l.LockHist(lk.name)
+		} else {
+			lk.waitHist = nil
+		}
+	}
+}
+
+// LatencyHists returns the attached latency registry, or nil.
+func (m *Machine) LatencyHists() *trace.LatencyHists { return m.lat }
+
 // Start installs fn as processor i's work function and starts its
 // goroutine, parked until the driver first schedules it. The function
 // should loop until p.Stopped() reports true.
@@ -478,7 +502,14 @@ func (m *Machine) schedule() (next *Proc, reason StopReason, stop bool) {
 	if min > m.limit {
 		return nil, StopTimeLimit, true
 	}
-	p.yieldAt = m.secondClock(p) + m.quantum
+	second := m.secondClock(p)
+	p.yieldAt = second + m.quantum
+	if lh := m.lat; lh != nil {
+		// Dispatch latency: how far the chosen (minimum-clock) processor
+		// lags the rest of the system when its quantum starts. Purely
+		// derived from the clocks; recording charges nothing.
+		lh.Dispatch.Record(int64(second - p.clock))
+	}
 	m.switches.Add(1)
 	if m.rec != nil {
 		m.rec.Emit(trace.KQuantumStart, p.id, int64(p.clock), 0, 0, "")

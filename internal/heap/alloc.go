@@ -54,6 +54,15 @@ func (h *Heap) Allocate(p *firefly.Proc, class object.OOP, bodyWords int, f obje
 	sh := &h.allocShards[p.ID()]
 	sh.allocations.Add(1)
 	sh.allocatedWords.Add(uint64(total))
+	if ap := h.alp; ap != nil {
+		id := h.allocSiteID(p.ID())
+		ap.RecordAlloc(id, int64(total))
+		if addr >= h.newBase {
+			// Old-space (large-object) allocations are attributed but
+			// not tracked through the scavenger.
+			h.siteByAddr[addr] = id
+		}
+	}
 
 	o := object.FromAddr(addr)
 	if addr < h.newBase && h.InNewSpace(class) {

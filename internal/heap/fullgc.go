@@ -181,11 +181,24 @@ func (h *Heap) FullCollect(p *firefly.Proc) {
 		c.ScavengePerWord*firefly.Time(dst-h.old.base))
 	h.m.StallOthers(p, p.Now())
 
+	pause := p.Now() - start
 	h.stats.FullCollections++
-	h.stats.FullGCTime += p.Now() - start
+	h.stats.FullGCTime += pause
+	if pause > h.stats.FullGCMaxPause {
+		h.stats.FullGCMaxPause = pause
+	}
 	h.stats.ReclaimedOldWords += reclaimed
+	if lh := h.lat; lh != nil {
+		// The pause includes the nested eden-emptying scavenge, which
+		// also recorded itself in ScavengePause — the distributions
+		// overlap by design, like FullGCTime and ScavengeTime.
+		lh.FullGCPause.Record(int64(pause))
+	}
 	if h.rec != nil {
 		h.rec.Emit(trace.KFullGCEnd, p.ID(), int64(p.Now()), int64(reclaimed), 0, "")
+		h.rec.Emit(trace.KGCPause, p.ID(), int64(p.Now()), int64(pause), 1, "")
+		h.rec.Emit(trace.KHeapOccupancy, p.ID(), int64(p.Now()),
+			int64(h.eden.next-h.eden.base), int64(h.old.next-h.old.base), "")
 	}
 
 	for _, f := range h.postGC {

@@ -127,12 +127,14 @@ type Stats struct {
 	ParScavenges      uint64 // scavenges run by the parallel scavenger
 	ScavengeSteals    uint64 // grey objects stolen between scavenge workers
 	ScavengeTime      firefly.Time
-	LastSurvivors     uint64 // words surviving the most recent scavenge
+	ScavengeMaxPause  firefly.Time // longest single stop-the-world scavenge
+	LastSurvivors     uint64       // words surviving the most recent scavenge
 	RememberedPeak    int
 	OldWordsInUse     uint64
 	EdenWordsInUse    uint64
 	FullCollections   uint64
 	FullGCTime        firefly.Time
+	FullGCMaxPause    firefly.Time // longest single full collection
 	ReclaimedOldWords uint64
 }
 
@@ -208,6 +210,24 @@ type Heap struct {
 	// legitimately lock-free) but triggers the write-barrier verifier.
 	san *sanitize.Checker
 
+	// lat is the machine's latency-histogram registry (nil when the
+	// distributions are off), cached like rec. The scavenger records
+	// its pause and phase durations into it; recording never charges
+	// virtual time.
+	lat *trace.LatencyHists
+
+	// alp is the allocation-site profiler (nil when off). allocSiteID
+	// resolves the currently-allocating site for a processor — the
+	// interpreter's executing Class>>selector — so this package stays
+	// free of interpreter imports. siteByAddr maps live new-space
+	// object addresses to their allocation site; each scavenge rebuilds
+	// it into siteNext as objects move (tenured objects drop out — old
+	// space is not tracked).
+	alp         *trace.AllocProfiler
+	allocSiteID func(proc int) int
+	siteByAddr  map[uint64]int
+	siteNext    map[uint64]int
+
 	stats Stats
 }
 
@@ -236,6 +256,7 @@ func New(m *firefly.Machine, cfg Config) *Heap {
 		mem: make([]uint64, total),
 		rec: m.Recorder(),
 		san: m.Sanitizer(),
+		lat: m.LatencyHists(),
 	}
 	h.allocShards = make([]allocShard, m.NumProcs())
 	base := uint64(object.FirstFreeAddress)
@@ -277,6 +298,17 @@ func (h *Heap) Machine() *firefly.Machine { return h.m }
 
 // Config returns the heap's configuration.
 func (h *Heap) Config() Config { return h.cfg }
+
+// SetAllocProfiler attaches the allocation-site profiler. siteID
+// resolves the currently-allocating site for a processor (the
+// interpreter supplies "Class>>selector" ids). Deterministic mode
+// only: attribution reads unsynchronized interpreter state and the
+// site maps are unguarded — the core config layer enforces this.
+func (h *Heap) SetAllocProfiler(a *trace.AllocProfiler, siteID func(proc int) int) {
+	h.alp = a
+	h.allocSiteID = siteID
+	h.siteByAddr = make(map[uint64]int)
+}
 
 // Stats returns a snapshot of heap statistics. Per-processor shards
 // are summed in, so the totals match the unsharded accounting exactly.

@@ -373,6 +373,12 @@ func (h *Heap) parForward(s *parScav, w *scavWorker, o object.OOP) object.OOP {
 		}
 		size := hd.SizeWords()
 		age := hd.Age() + 1
+		if ap := h.alp; ap != nil {
+			// Allocation-site profiling is deterministic-mode only
+			// (enforced by core), where the drain runs on one
+			// goroutine, so the site maps never race.
+			ap.NoteAge(int(age), int64(size))
+		}
 		dst, tenured := w.allocCopy(h, size, age >= h.cfg.TenureAge)
 		if tenured {
 			age = 0
@@ -380,6 +386,18 @@ func (h *Heap) parForward(s *parScav, w *scavWorker, o object.OOP) object.OOP {
 			w.tenuredWords += uint64(size)
 			if h.rec != nil {
 				h.rec.Emit(trace.KTenure, w.id, h.gcAt+int64(w.cost), int64(size), 0, "")
+			}
+			if ap := h.alp; ap != nil {
+				if id, ok := h.siteByAddr[addr]; ok {
+					ap.NoteTenured(id, int64(size))
+				}
+			}
+		} else if ap := h.alp; ap != nil {
+			if id, ok := h.siteByAddr[addr]; ok {
+				if addr >= h.eden.base {
+					ap.NoteSurvived(id, int64(size))
+				}
+				h.siteNext[dst] = id
 			}
 		}
 		copy(h.mem[dst+1:dst+uint64(size)], h.mem[addr+1:addr+uint64(size)])
@@ -506,15 +524,19 @@ func (h *Heap) finishParScav(s *parScav, p *firefly.Proc, start firefly.Time) {
 	h.stats.ParScavenges++
 
 	c := h.m.Costs()
+	longPole, maxCost := 0, firefly.Time(0)
+	var sumCost firefly.Time
+	var sumSteals uint64
+	for i, w := range s.ws {
+		if w.cost > maxCost {
+			longPole, maxCost = i, w.cost
+		}
+		sumCost += w.cost
+		sumSteals += w.steals
+	}
 	if h.par {
 		p.Advance(c.ScavengeBase + c.ScavengeTerm)
 	} else {
-		var maxCost firefly.Time
-		for _, w := range s.ws {
-			if w.cost > maxCost {
-				maxCost = w.cost
-			}
-		}
 		end := start + c.ScavengeBase + maxCost + c.ScavengeTerm
 		for i, w := range s.ws {
 			if q := h.m.Proc(i); q != p {
@@ -524,6 +546,22 @@ func (h *Heap) finishParScav(s *parScav, p *firefly.Proc, start firefly.Time) {
 		p.Advance(c.ScavengeBase + s.ws[p.ID()].cost + c.ScavengeTerm)
 		p.StallUntil(end)
 		h.m.StallOthers(p, end)
+	}
+	if lh := h.lat; lh != nil {
+		// Parallel phase split: rendezvous is the base charge, the copy
+		// phase lasts until the slowest worker (the long pole) finishes,
+		// and the termination barrier is the fixed join cost.
+		lh.ScavRendezvous.Record(int64(c.ScavengeBase))
+		lh.ScavCopy.Record(int64(maxCost))
+		lh.ScavTerm.Record(int64(c.ScavengeTerm))
+		lh.AddCriticalPath(trace.GCCriticalPath{
+			Scavenge:      h.stats.ParScavenges,
+			LongPole:      longPole,
+			LongPoleTicks: int64(maxCost),
+			SumTicks:      int64(sumCost),
+			Workers:       len(s.ws),
+			Steals:        sumSteals,
+		})
 	}
 
 	if h.rec != nil {

@@ -40,10 +40,17 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 	start := p.Now()
 	if h.rec != nil {
 		h.rec.Emit(trace.KScavengeBegin, p.ID(), int64(start), 0, 0, "")
+		h.rec.Emit(trace.KHeapOccupancy, p.ID(), int64(start),
+			int64(h.eden.next-h.eden.base), int64(h.old.next-h.old.base), "")
 	}
 	h.gcProc, h.gcAt = p.ID(), int64(start)
 	for _, f := range h.preGC {
 		f()
+	}
+	if h.alp != nil {
+		// The copy pass re-keys each surviving object's allocation site
+		// from its old address to its new one.
+		h.siteNext = make(map[uint64]int)
 	}
 
 	objsBefore := h.stats.CopiedObjects
@@ -70,12 +77,26 @@ func (h *Heap) Scavenge(p *firefly.Proc) {
 	h.past = 1 - h.past
 	h.resetTLABs()
 	h.to = nil
+	if h.alp != nil {
+		h.siteByAddr = h.siteNext
+		h.siteNext = nil
+	}
 
+	pause := p.Now() - start
 	h.stats.Scavenges++
 	h.stats.LastSurvivors = words
-	h.stats.ScavengeTime += p.Now() - start
+	h.stats.ScavengeTime += pause
+	if pause > h.stats.ScavengeMaxPause {
+		h.stats.ScavengeMaxPause = pause
+	}
+	if lh := h.lat; lh != nil {
+		lh.ScavengePause.Record(int64(pause))
+	}
 	if h.rec != nil {
 		h.rec.Emit(trace.KScavengeEnd, p.ID(), int64(p.Now()), int64(objs), int64(words), "")
+		h.rec.Emit(trace.KGCPause, p.ID(), int64(p.Now()), int64(pause), 0, "")
+		h.rec.Emit(trace.KHeapOccupancy, p.ID(), int64(p.Now()),
+			int64(h.eden.next-h.eden.base), int64(h.old.next-h.old.base), "")
 	}
 	h.verifyWriteBarrier(p)
 
@@ -148,9 +169,17 @@ func (h *Heap) serialScavenge(p *firefly.Proc) {
 	objs := h.stats.CopiedObjects - objsBefore
 	words := h.stats.CopiedWords - wordsBefore
 	c := h.m.Costs()
-	p.Advance(c.ScavengeBase +
-		c.ScavengePerObject*firefly.Time(objs) +
-		c.ScavengePerWord*firefly.Time(words))
+	copyTicks := c.ScavengePerObject*firefly.Time(objs) +
+		c.ScavengePerWord*firefly.Time(words)
+	if lh := h.lat; lh != nil {
+		// Serial phase split: the base charge models the rendezvous,
+		// the per-object/word charge is the copy work, and termination
+		// is immediate (one scavenger, nothing to join).
+		lh.ScavRendezvous.Record(int64(c.ScavengeBase))
+		lh.ScavCopy.Record(int64(copyTicks))
+		lh.ScavTerm.Record(0)
+	}
+	p.Advance(c.ScavengeBase + copyTicks)
 	h.m.StallOthers(p, p.Now())
 }
 
@@ -167,6 +196,9 @@ func (h *Heap) forward(o object.OOP) object.OOP {
 	}
 	size := hd.SizeWords()
 	age := hd.Age() + 1
+	if ap := h.alp; ap != nil {
+		ap.NoteAge(int(age), int64(size))
+	}
 
 	var dst uint64
 	tenure := age >= h.cfg.TenureAge || h.to.free() < size
@@ -181,10 +213,25 @@ func (h *Heap) forward(o object.OOP) object.OOP {
 		if h.rec != nil {
 			h.rec.Emit(trace.KTenure, h.gcProc, h.gcAt, int64(size), 0, "")
 		}
+		if ap := h.alp; ap != nil {
+			if id, ok := h.siteByAddr[o.Addr()]; ok {
+				ap.NoteTenured(id, int64(size))
+			}
+		}
 		age = 0
 	} else {
 		dst = h.to.next
 		h.to.next += uint64(size)
+		if ap := h.alp; ap != nil {
+			if id, ok := h.siteByAddr[o.Addr()]; ok {
+				if o.Addr() >= h.eden.base {
+					// First scavenge for an eden-born object: it
+					// survived.
+					ap.NoteSurvived(id, int64(size))
+				}
+				h.siteNext[dst] = id
+			}
+		}
 	}
 
 	copy(h.mem[dst:dst+uint64(size)], h.mem[o.Addr():o.Addr()+uint64(size)])

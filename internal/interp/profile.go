@@ -18,6 +18,21 @@ import (
 // charges no virtual time. Name caches are keyed by oop and flushed
 // before every scavenge because objects move.
 
+// ensureNameCaches creates the oop-keyed name caches and registers
+// their pre-scavenge flush exactly once; both the selector profiler and
+// the allocation-site profiler render through them.
+func (vm *VM) ensureNameCaches() {
+	if vm.methodNames != nil {
+		return
+	}
+	vm.methodNames = map[object.OOP]string{}
+	vm.selectorNames = map[object.OOP]string{}
+	vm.H.OnPreScavenge(func() {
+		clear(vm.methodNames)
+		clear(vm.selectorNames)
+	})
+}
+
 // EnableProfiler attaches a selector profiler to the VM. Call after boot
 // so image-build time is not charged; the per-processor busy baselines
 // are primed from the current clocks.
@@ -26,16 +41,54 @@ func (vm *VM) EnableProfiler() {
 		return
 	}
 	vm.prof = trace.NewProfiler(vm.M.NumProcs())
-	vm.methodNames = map[object.OOP]string{}
-	vm.selectorNames = map[object.OOP]string{}
-	vm.H.OnPreScavenge(func() {
-		clear(vm.methodNames)
-		clear(vm.selectorNames)
-	})
+	vm.ensureNameCaches()
 	for i, in := range vm.Interps {
 		vm.prof.Prime(i, int64(in.p.Stats().Busy))
 		in.profSync()
 	}
+}
+
+// EnableAllocProfiler attaches an allocation-site profiler: every heap
+// allocation from here on is attributed to the executing
+// Class>>selector, and the scavenger follows each site's objects to
+// derive survivor and tenure rates. Call after boot so image-build
+// allocation is not attributed. Deterministic mode only (the core
+// config layer validates): the site lookup reads the per-processor
+// interpreter state mid-bytecode.
+func (vm *VM) EnableAllocProfiler() *trace.AllocProfiler {
+	if vm.allocProf != nil {
+		return vm.allocProf
+	}
+	vm.ensureNameCaches()
+	vm.allocProf = trace.NewAllocProfiler()
+	vm.allocSiteIDs = map[object.OOP]int{}
+	vm.H.OnPreScavenge(func() { clear(vm.allocSiteIDs) })
+	vm.H.SetAllocProfiler(vm.allocProf, vm.allocSiteFor)
+	return vm.allocProf
+}
+
+// AllocProfiler returns the attached allocation-site profiler, or nil.
+func (vm *VM) AllocProfiler() *trace.AllocProfiler { return vm.allocProf }
+
+// allocSiteFor resolves processor proc's current allocation site: the
+// compiled method its interpreter is executing, interned by method oop
+// (the id cache is flushed before every scavenge because oops move).
+// Allocations with no executing method — evaluation setup, primitive
+// scaffolding — fall to the "(vm)" site.
+func (vm *VM) allocSiteFor(proc int) int {
+	var method object.OOP
+	if proc >= 0 && proc < len(vm.Interps) {
+		method = vm.Interps[proc].method
+	}
+	if !method.IsPtr() || method == object.Nil {
+		return vm.allocProf.SiteID("(vm)")
+	}
+	if id, ok := vm.allocSiteIDs[method]; ok {
+		return id
+	}
+	id := vm.allocProf.SiteID(vm.methodName(method))
+	vm.allocSiteIDs[method] = id
+	return id
 }
 
 // Profiler returns the attached profiler, or nil.

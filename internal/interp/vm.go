@@ -421,10 +421,14 @@ type VM struct {
 
 	// Profiler state (see profile.go): prof is nil unless EnableProfiler
 	// was called; the name caches map oops to rendered Go strings and
-	// are flushed before every scavenge because oops move.
+	// are flushed before every scavenge because oops move. allocProf
+	// and its method-oop→site-id cache are the allocation-site
+	// profiler's state, nil unless EnableAllocProfiler was called.
 	prof          *trace.Profiler
 	methodNames   map[object.OOP]string
 	selectorNames map[object.OOP]string
+	allocProf     *trace.AllocProfiler
+	allocSiteIDs  map[object.OOP]int
 
 	// san is the machine's invariant checker (nil when sanitizing is
 	// off), cached like each interpreter's rec.

@@ -396,6 +396,42 @@ func parSlow(m *Machine, p *Proc) {
 	wantFindings(t, got, 1, "not nil-guarded")
 }
 
+func TestTraceguardCoversHistogramHooks(t *testing.T) {
+	// PR 7's latency histograms and allocation-site profiler hooks are
+	// optional observers like the recorder: every Record/Note* emission
+	// must be nil-guarded. A guard on a receiver prefix counts — the
+	// histograms are value fields of the guarded *LatencyHists.
+	got := runOn(t, TraceguardAnalyzer, "internal/heap", map[string]string{
+		"ok.go": `package heap
+func pause(h *Heap, ticks int64) {
+	if lh := h.lat; lh != nil {
+		lh.ScavengePause.Record(ticks)
+		lh.AddCriticalPath(cp)
+	}
+}
+func site(h *Heap, id int, words int64) {
+	ap := h.alp
+	if ap == nil {
+		return
+	}
+	ap.RecordAlloc(id, words)
+	ap.NoteSurvived(id, words)
+	ap.NoteTenured(id, words)
+	ap.NoteAge(3, words)
+}
+`,
+		"bad.go": `package heap
+func unguardedPause(h *Heap, ticks int64) {
+	h.lat.ScavengePause.Record(ticks)
+}
+func unguardedSite(h *Heap, id int, words int64) {
+	h.alp.RecordAlloc(id, words)
+}
+`,
+	})
+	wantFindings(t, got, 2, "not nil-guarded")
+}
+
 // ---- heapwrite ----
 
 func TestHeapwriteFlagsDirectWrite(t *testing.T) {

@@ -3,17 +3,23 @@ package msvet
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
-// hookMethods are the observer entry points (trace recorder and
-// sanitizer) that instrumented code calls. Observers are optional —
-// the field holding them is nil unless attached — so every call site
-// must sit under a nil guard. The two accepted shapes:
+// hookMethods are the observer entry points (trace recorder, sanitizer,
+// latency histograms, allocation-site profiler) that instrumented code
+// calls. Observers are optional — the field holding them is nil unless
+// attached — so every call site must sit under a nil guard. The two
+// accepted shapes:
 //
 //	if s := h.san; s != nil { s.OnAccess(...) }     // enclosing guard
 //	san := h.san
 //	if san == nil { return }                        // early return
 //	... san.ReportWriteBarrier(...) ...
+//
+// A guard on a receiver prefix counts: `if lh := m.lat; lh != nil {
+// lh.Dispatch.Record(...) }` is guarded because Dispatch is a value
+// field of the guarded *LatencyHists.
 //
 // Guarding keeps the detached cost at one pointer test and makes a
 // nil-dereference panic in instrumented hot paths impossible.
@@ -25,6 +31,14 @@ var hookMethods = map[string]bool{
 	"OnRelease":          true,
 	"ReportWriteBarrier": true,
 	"NoteBarrierScan":    true,
+	// Latency histograms (PR 7).
+	"Record":          true,
+	"AddCriticalPath": true,
+	// Allocation-site profiler (PR 7).
+	"RecordAlloc":  true,
+	"NoteSurvived": true,
+	"NoteTenured":  true,
+	"NoteAge":      true,
 }
 
 // traceguardSkip: the observer packages themselves call their own
@@ -293,8 +307,18 @@ func (g *guardWalker) checkCall(call *ast.CallExpr, guards map[string]bool) {
 		return
 	}
 	recv := exprString(sel.X)
-	if guards[recv] {
-		return
+	// A guard on the receiver or on any prefix of it satisfies the
+	// check: guarding `lh` proves `lh.Dispatch` (a value field of the
+	// guarded pointer) is safe to call through.
+	for r := recv; ; {
+		if guards[r] {
+			return
+		}
+		i := strings.LastIndexByte(r, '.')
+		if i < 0 {
+			break
+		}
+		r = r[:i]
 	}
 	g.pass.Reportf(call.Pos(),
 		"hook call %s.%s is not nil-guarded (wrap in `if %s != nil` or add an early `if %s == nil { return }`)",

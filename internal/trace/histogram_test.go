@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Values below histSub land in exact unit buckets.
+	for v := int64(0); v < histSub; v++ {
+		i := bucketIndex(uint64(v))
+		if int64(i) != v {
+			t.Errorf("bucketIndex(%d) = %d, want exact unit bucket", v, i)
+		}
+		if bucketLo(i) != v || bucketHi(i) != v {
+			t.Errorf("bucket %d spans [%d,%d], want exactly %d", i, bucketLo(i), bucketHi(i), v)
+		}
+	}
+	// Every value falls inside its bucket's [lo,hi] span, and indices
+	// never decrease as values grow.
+	prev := -1
+	for _, v := range []uint64{16, 17, 31, 32, 100, 1000, 4095, 4096, 1 << 20, 1 << 40, 1<<63 - 1} {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, histBuckets)
+		}
+		if lo, hi := bucketLo(i), bucketHi(i); int64(v) < lo || int64(v) > hi {
+			t.Errorf("value %d outside its bucket %d span [%d,%d]", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Errorf("bucketIndex(%d) = %d < previous index %d: not monotonic", v, i, prev)
+		}
+		prev = i
+	}
+	// Log-linear resolution: the bucket's relative width stays under
+	// 1/histSub (≈6.25% worst case).
+	for _, v := range []uint64{100, 999, 12345, 1 << 30} {
+		i := bucketIndex(v)
+		lo, hi := bucketLo(i), bucketHi(i)
+		if width := float64(hi-lo+1) / float64(lo); width > 1.0/float64(histSub)+1e-9 {
+			t.Errorf("bucket %d at value %d: relative width %.4f exceeds 1/%d", i, v, width, histSub)
+		}
+	}
+}
+
+func TestHistogramMergeExactAndAssociative(t *testing.T) {
+	samples := [][]int64{
+		{0, 1, 2, 3, 100, 100, 5000},
+		{17, 17, 17, 1 << 30},
+		{42, 4096, 9999999},
+	}
+	build := func(groups ...[]int64) *Histogram {
+		h := &Histogram{}
+		for _, g := range groups {
+			for _, v := range g {
+				h.Record(v)
+			}
+		}
+		return h
+	}
+	all := build(samples...)
+
+	// (a+b)+c == a+(b+c) == recording everything into one histogram.
+	ab := build(samples[0], samples[1])
+	ab.Merge(build(samples[2]))
+	bc := build(samples[1], samples[2])
+	a := build(samples[0])
+	a.Merge(bc)
+	for name, m := range map[string]*Histogram{"(a+b)+c": ab, "a+(b+c)": a} {
+		if !reflect.DeepEqual(m.Snapshot(), all.Snapshot()) {
+			t.Errorf("%s merge diverges from direct recording:\n%+v\nvs\n%+v",
+				name, m.Snapshot(), all.Snapshot())
+		}
+	}
+	wantCount := int64(len(samples[0]) + len(samples[1]) + len(samples[2]))
+	if all.Count() != wantCount {
+		t.Errorf("count = %d, want %d", all.Count(), wantCount)
+	}
+	if all.Max() != 1<<30 {
+		t.Errorf("max = %d, want %d", all.Max(), 1<<30)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Percentile(50) != 0 {
+		t.Errorf("empty histogram p50 = %d, want 0", h.Percentile(50))
+	}
+	// Unit-bucket range: percentiles are exact.
+	for v := int64(0); v < 10; v++ {
+		h.Record(v)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want int64
+	}{
+		{10, 0}, {50, 4}, {90, 8}, {99, 9}, {100, 9},
+	} {
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("p%v over 0..9 = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	// A single large sample: every percentile is the sample itself
+	// (capped at Max, not the bucket's upper edge).
+	g := &Histogram{}
+	g.Record(1000)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := g.Percentile(p); got != 1000 {
+			t.Errorf("p%v of single sample 1000 = %d", p, got)
+		}
+	}
+	// Negative samples clamp to zero rather than corrupting buckets.
+	n := &Histogram{}
+	n.Record(-5)
+	if n.Count() != 1 || n.Percentile(50) != 0 {
+		t.Errorf("negative sample: count=%d p50=%d, want 1 and 0", n.Count(), n.Percentile(50))
+	}
+}
+
+func TestHistogramSnapshotDerivedFields(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Max != 100 {
+		t.Fatalf("snapshot count=%d max=%d", s.Count, s.Max)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %d, want 5050", s.Sum)
+	}
+	// Log-linear buckets bound the percentile error at one sub-bucket.
+	if s.P50 < 50 || s.P50 > 53 {
+		t.Errorf("p50 = %d, want 50..53", s.P50)
+	}
+	if s.P90 < 90 || s.P90 > 95 {
+		t.Errorf("p90 = %d, want 90..95", s.P90)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Errorf("p99 = %d, want 99..100", s.P99)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.N
+	}
+	if int64(n) != s.Count {
+		t.Errorf("bucket populations sum to %d, count is %d", n, s.Count)
+	}
+}
+
+func TestLatencyHistsLockRegistry(t *testing.T) {
+	lh := NewLatencyHists()
+	a := lh.LockHist("alloc")
+	b := lh.LockHist("scheduler")
+	if lh.LockHist("alloc") != a {
+		t.Error("same name must return the same histogram")
+	}
+	a.Record(10)
+	a.Record(200)
+	b.Record(0)
+	m := lh.Snapshot()
+	if len(m.LockWait) != 2 {
+		t.Fatalf("lock-wait series = %d, want 2", len(m.LockWait))
+	}
+	if m.LockWait[0].Name != "alloc" || m.LockWait[0].Hist.Count != 2 {
+		t.Errorf("alloc series: %+v", m.LockWait[0])
+	}
+	rep := lh.Report()
+	for _, want := range []string{"latency distributions", "alloc", "scheduler"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestAllocProfilerAccounting(t *testing.T) {
+	ap := NewAllocProfiler()
+	foo := ap.SiteID("Foo>>bar")
+	baz := ap.SiteID("Baz>>quux")
+	if ap.SiteID("Foo>>bar") != foo {
+		t.Error("interning must return a stable id")
+	}
+	ap.RecordAlloc(foo, 10)
+	ap.RecordAlloc(foo, 30)
+	ap.RecordAlloc(baz, 60)
+	ap.NoteSurvived(foo, 10)
+	ap.NoteTenured(baz, 60)
+	ap.NoteAge(1, 10)
+	ap.NoteAge(5, 60)
+	ap.NoteAge(99, 1) // clamps to the top census bin
+
+	if ap.TotalWords() != 100 {
+		t.Errorf("total words = %d, want 100", ap.TotalWords())
+	}
+	if cov := ap.TopCoverage(1); cov < 0.59 || cov > 0.61 {
+		t.Errorf("top-1 coverage = %.2f, want 0.60", cov)
+	}
+	if cov := ap.TopCoverage(10); cov != 1.0 {
+		t.Errorf("top-10 coverage = %.2f, want 1.0", cov)
+	}
+	rep := ap.Report(10)
+	for _, want := range []string{"Foo>>bar", "Baz>>quux", "surv%", "ten%", "object demographics"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -11,8 +11,9 @@ package trace
 
 // MetricsSchemaVersion versions the Metrics struct and every JSON
 // document embedding it. Bump it whenever a field changes meaning or
-// is removed; additions alone may keep the version.
-const MetricsSchemaVersion = 2
+// is removed; additions alone may keep the version. Version 3 added
+// the latency-distribution section and the heap pause fields.
+const MetricsSchemaVersion = 3
 
 // MachineMetrics summarizes the virtual machine room: the simulated
 // multiprocessor itself.
@@ -64,12 +65,14 @@ type HeapMetrics struct {
 	ParScavenges      uint64 `json:"par_scavenges"`
 	ScavengeSteals    uint64 `json:"scavenge_steals"`
 	ScavengeTicks     int64  `json:"scavenge_ticks"`
+	ScavengeMaxPause  int64  `json:"scavenge_max_pause_ticks"`
 	LastSurvivors     uint64 `json:"last_survivors"`
 	RememberedPeak    int    `json:"remembered_peak"`
 	OldWordsInUse     uint64 `json:"old_words_in_use"`
 	EdenWordsInUse    uint64 `json:"eden_words_in_use"`
 	FullCollections   uint64 `json:"full_collections"`
 	FullGCTicks       int64  `json:"full_gc_ticks"`
+	FullGCMaxPause    int64  `json:"full_gc_max_pause_ticks"`
 	ReclaimedOldWords uint64 `json:"reclaimed_old_words"`
 }
 
@@ -118,6 +121,11 @@ type Metrics struct {
 	Heap          HeapMetrics    `json:"heap"`
 	Interp        InterpMetrics  `json:"interp"`
 	Trace         TraceMetrics   `json:"trace"`
+
+	// Latency is present when the latency-histogram registry was
+	// attached (Config.Histograms); its distributions are over virtual
+	// ticks and deterministic in the deterministic mode.
+	Latency *LatencyMetrics `json:"latency,omitempty"`
 }
 
 // Derive fills in every percentage/rate field from the raw counters and

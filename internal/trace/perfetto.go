@@ -19,7 +19,8 @@ import (
 //	      intervals across all processors (read-side holds overlap in
 //	      virtual time and stay on the processor tracks only).
 //	pid 3 "gc" — scavenge and full-collection slices plus eden-full and
-//	      tenure instants.
+//	      tenure instants, and counter tracks for heap occupancy and the
+//	      pause series (phase "C").
 //	pid 4 "jit" — template-tier compile and deopt instants, one thread
 //	      per compiling processor (declared lazily, so traces from runs
 //	      with the tier off are unchanged).
@@ -83,6 +84,13 @@ func (b *pfBuilder) slice(pid, tid int, name string, ts, dur int64, args map[str
 func (b *pfBuilder) instant(pid, tid int, name string, ts int64, args map[string]any) {
 	b.out = append(b.out, pfEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid,
 		Scope: "t", Args: args})
+}
+
+// counter emits one sample on a Perfetto counter track (phase "C"):
+// tracks with the same name form a stepped series over time.
+func (b *pfBuilder) counter(pid int, name string, ts, value int64) {
+	b.out = append(b.out, pfEvent{Name: name, Ph: "C", Ts: ts, Pid: pid,
+		Args: map[string]any{"value": value}})
 }
 
 // procTrack pairs begin/end events on one processor's thread with a
@@ -309,6 +317,15 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 				map[string]any{"instrs": e.Arg1})
 		case KJITDeopt:
 			b.instant(pidJIT, jitTid(e.Proc), "deopt: "+e.Str, e.At, nil)
+		case KHeapOccupancy:
+			b.counter(pidGC, "eden words", e.At, e.Arg1)
+			b.counter(pidGC, "old words", e.At, e.Arg2)
+		case KGCPause:
+			if e.Arg2 == 1 {
+				b.counter(pidGC, "fullgc pause ticks", e.At, e.Arg1)
+			} else {
+				b.counter(pidGC, "scavenge pause ticks", e.At, e.Arg1)
+			}
 		default:
 			if pt != nil {
 				var args map[string]any

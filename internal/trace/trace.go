@@ -69,6 +69,11 @@ const (
 	KJITCompile // method template-compiled; Str = selector, Arg1 = instrs
 	KJITDeopt   // compiled body bailed out; Arg1 = reason, Str = reason name
 
+	// Counter samples (emitted by internal/heap at GC boundaries;
+	// rendered as Perfetto counter tracks).
+	KHeapOccupancy // Arg1 = eden words in use, Arg2 = old words in use
+	KGCPause       // Arg1 = pause ticks, Arg2 = 0 scavenge / 1 full gc
+
 	numKinds
 )
 
@@ -82,6 +87,7 @@ var kindNames = [numKinds]string{
 	"display-op", "input-op",
 	"scav-worker-begin", "scav-worker-end", "scav-steal",
 	"jit-compile", "jit-deopt",
+	"heap-occupancy", "gc-pause",
 }
 
 func (k Kind) String() string {

@@ -101,10 +101,11 @@ func TestPerfettoExportWellFormed(t *testing.T) {
 	}
 
 	numProcs := sys.Metrics().Machine.NumProcs
-	procTracks := map[int]bool{} // tids named on pid 1
-	lockTracks := map[int]bool{} // tids named on pid 2
-	gcTracks := map[int]bool{}   // tids named on pid 3
-	slicesOn := map[int]bool{}   // pids with at least one complete slice
+	procTracks := map[int]bool{}      // tids named on pid 1
+	lockTracks := map[int]bool{}      // tids named on pid 2
+	gcTracks := map[int]bool{}        // tids named on pid 3
+	slicesOn := map[int]bool{}        // pids with at least one complete slice
+	counterTracks := map[string]int{} // counter series name -> samples
 	for _, ev := range doc.TraceEvents {
 		if ev.Name == "thread_name" && ev.Ph == "M" {
 			switch ev.Pid {
@@ -122,9 +123,21 @@ func TestPerfettoExportWellFormed(t *testing.T) {
 				t.Fatalf("complete slice %q without non-negative dur", ev.Name)
 			}
 			slicesOn[ev.Pid] = true
+		case "C":
+			if ev.Args == nil || ev.Args["value"] == nil {
+				t.Fatalf("counter event %q without a value", ev.Name)
+			}
+			counterTracks[ev.Name]++
 		case "M", "i":
 		default:
 			t.Fatalf("unexpected phase %q on %q", ev.Ph, ev.Name)
+		}
+	}
+	// The heap emits occupancy and pause counter samples at every GC
+	// boundary; a busy run scavenges, so the tracks must be populated.
+	for _, name := range []string{"eden words", "old words", "scavenge pause ticks"} {
+		if counterTracks[name] == 0 {
+			t.Errorf("no %q counter samples in the export", name)
 		}
 	}
 	for i := 0; i < numProcs; i++ {
