@@ -29,7 +29,11 @@
 //	                           -parscavenge for the critical-path table
 //	msbench -sanitize          run every state plain and under the mscheck
 //	                           invariant sanitizer; report violations,
-//	                           bit-identity, and host-side checker cost
+//	                           bit-identity, and host-side checker cost;
+//	                           add -lockgraph GRAPH.json (the output of
+//	                           msvet -lockgraph) to verify the observed
+//	                           acquisition order is a subgraph of the
+//	                           static lock-order graph
 //	msbench -parallel          true-parallel host sweep: the same fixed
 //	                           workload on 1..GOMAXPROCS real goroutine
 //	                           processors, wall-clock speedup vs the
@@ -48,11 +52,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"mst/internal/bench"
+	"mst/internal/msvet"
 )
 
 func main() {
@@ -72,6 +78,7 @@ func main() {
 	gcReport := flag.Bool("gcreport", false, "print the GC latency rollup of a busy benchmark (pause/phase percentiles, lock waits, allocation sites)")
 	parScav := flag.Bool("parscavenge", false, "use the cooperative parallel scavenger for the -gcreport run (adds the critical-path table)")
 	sanFlag := flag.Bool("sanitize", false, "run every state under the mscheck invariant sanitizer and report overhead")
+	lockgraphPath := flag.String("lockgraph", "", "with -sanitize: static lock graph JSON (msvet -lockgraph) to cross-check the observed acquisition order against")
 	parallel := flag.Bool("parallel", false, "run the true-parallel host sweep (goroutine processors, wall-clock speedup)")
 	gatePath := flag.String("gate", "", "compare a fresh run against this baseline json and fail on regression")
 	gateTol := flag.Float64("gate-tolerance", 0.20, "allowed drift in normalized host cost for -gate (fraction)")
@@ -187,7 +194,15 @@ func main() {
 	}
 	if *sanFlag || *all {
 		fmt.Fprintln(os.Stderr, "running sanitized states (plain + mscheck each)...")
-		r, err := bench.RunSanitize()
+		var staticEdges []string
+		if *lockgraphPath != "" {
+			data, err := os.ReadFile(*lockgraphPath)
+			check(err)
+			var g msvet.LockGraphData
+			check(json.Unmarshal(data, &g))
+			staticEdges = g.EdgeStrings()
+		}
+		r, err := bench.RunSanitizeStatic(staticEdges)
 		check(err)
 		fmt.Println(r.Format())
 		if !r.Clean() {

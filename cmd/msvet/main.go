@@ -1,19 +1,31 @@
-// Command msvet runs the repository's custom vet suite (virttime,
-// lockpair, traceguard, heapwrite — see internal/msvet) over the whole
-// module and exits non-zero on any finding.
+// Command msvet runs the repository's custom vet suite (see
+// internal/msvet): the lexical passes (virttime, lockpair, traceguard,
+// heapwrite, costcharge) and the call-graph-aware module passes
+// (stwsafe, atomicguard, barrierflow, lockorder) over the whole module,
+// and exits non-zero on any finding.
 //
 // Usage:
 //
 //	go run ./cmd/msvet ./...
+//	go run ./cmd/msvet -json ./...       findings as JSON on stdout
+//	go run ./cmd/msvet -v ./...          also echo //msvet: annotation
+//	                                     justifications
+//	go run ./cmd/msvet -lockgraph       emit the static lock-order graph
+//	                                     as deterministic JSON and exit
+//	go run ./cmd/msvet -dir path/to/pkg  analyze another module root
+//	                                     (the fault-injection fixtures)
 //
 // The suite is a stdlib-only go/analysis-style driver (no module proxy
 // in the build environment, so golang.org/x/tools and the
-// `go vet -vettool` protocol are unavailable). Arguments are accepted
-// for familiarity but the suite always analyzes the entire module
-// containing the working directory.
+// `go vet -vettool` protocol are unavailable); type checking resolves
+// the standard library through the GOROOT source importer. `./...`
+// arguments are accepted for familiarity but the suite always analyzes
+// the entire module containing the working directory (or -dir).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,30 +34,85 @@ import (
 )
 
 func main() {
-	root, err := findModuleRoot()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
-		os.Exit(2)
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	verbose := flag.Bool("v", false, "echo //msvet: annotation justifications")
+	lockgraph := flag.Bool("lockgraph", false, "emit the static lock-order graph as JSON and exit")
+	dirFlag := flag.String("dir", "", "module root to analyze (default: the module containing the working directory)")
+	flag.Parse()
+
+	root := *dirFlag
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
 	}
-	pkgs, err := msvet.LoadModule(root)
+	mod, err := msvet.LoadTyped(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
+
+	if *lockgraph {
+		os.Stdout.Write(mod.LockGraph().Data().JSON())
+		return
+	}
+
 	analyzers := msvet.Analyzers()
-	findings, err := msvet.RunAnalyzers(pkgs, analyzers)
+	findings, err := msvet.RunSuite(mod, analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *verbose {
+		for _, a := range mod.Ann.All {
+			pos := mod.Fset.Position(a.Pos)
+			just := a.Justification
+			if just == "" {
+				just = "(no justification given)"
+			}
+			fmt.Printf("msvet: annotation %s:%d: //msvet:%s %s — %s\n",
+				pos.Filename, pos.Line, a.Kind, a.Target, just)
+		}
+	}
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "msvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
-	fmt.Printf("msvet: ok (%d packages, %d analyzers)\n", len(pkgs), len(analyzers))
+	if !*jsonOut {
+		fmt.Printf("msvet: ok (%d packages, %d analyzers)\n", len(mod.Pkgs), len(analyzers))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
+	os.Exit(2)
 }
 
 // findModuleRoot walks up from the working directory to the nearest

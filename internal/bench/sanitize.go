@@ -37,6 +37,10 @@ type SanitizeRow struct {
 	// workload (both empty on a correct build).
 	Violations int      `json:"violations"`
 	Cycles     []string `json:"lock_order_cycles,omitempty"`
+	// OrderViolations lists runtime acquisition-order edges absent from
+	// the static lock graph (msvet -lockgraph) when one was supplied —
+	// the static analysis missed an acquire path.
+	OrderViolations []string `json:"order_violations,omitempty"`
 	// Checker work volume and host-side cost.
 	LockEvents   uint64  `json:"lock_events"`
 	AccessChecks uint64  `json:"access_checks"`
@@ -57,7 +61,7 @@ type SanitizeReport struct {
 // bit-identical to its unsanitized twin.
 func (r *SanitizeReport) Clean() bool {
 	for _, row := range r.Rows {
-		if row.Violations != 0 || len(row.Cycles) != 0 || !row.Identical {
+		if row.Violations != 0 || len(row.Cycles) != 0 || len(row.OrderViolations) != 0 || !row.Identical {
 			return false
 		}
 	}
@@ -138,6 +142,14 @@ func flattenJSON(key string, v interface{}, out map[string]int64) {
 
 // RunSanitize measures every standard state plain and sanitized.
 func RunSanitize() (*SanitizeReport, error) {
+	return RunSanitizeStatic(nil)
+}
+
+// RunSanitizeStatic is RunSanitize plus the static cross-check: when
+// staticEdges is non-nil (the "a -> b" strings of msvet -lockgraph),
+// every state's observed acquisition-order edges are verified to be a
+// subgraph of the static graph.
+func RunSanitizeStatic(staticEdges []string) (*SanitizeReport, error) {
 	r := &SanitizeReport{}
 	for _, b := range MacroBenchmarks {
 		r.Benches = append(r.Benches, b.Selector)
@@ -161,6 +173,9 @@ func RunSanitize() (*SanitizeReport, error) {
 			Cycles:      san.LockOrderCycles(),
 			HostPlainNS: plainHost,
 			HostCheckNS: checkHost,
+		}
+		if staticEdges != nil {
+			row.OrderViolations = san.StaticOrderViolations(staticEdges)
 		}
 		cs := san.Stats()
 		row.LockEvents = cs.LockEvents
@@ -199,6 +214,9 @@ func (r *SanitizeReport) Format() string {
 	for _, row := range r.Rows {
 		for _, c := range row.Cycles {
 			fmt.Fprintf(&b, "  %s: lock-order cycle: %s\n", row.State, c)
+		}
+		for _, e := range row.OrderViolations {
+			fmt.Fprintf(&b, "  %s: edge missing from static lock graph: %s\n", row.State, e)
 		}
 		for _, d := range row.Divergences {
 			fmt.Fprintf(&b, "  %s: DIVERGENCE: %s\n", row.State, d)

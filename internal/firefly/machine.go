@@ -302,7 +302,8 @@ type Machine struct {
 	// Parallel host mode (see parallel.go). parallel is flipped once,
 	// between Runs, while every processor goroutine is parked, so the
 	// plain reads on the hot paths are race-free by happens-before.
-	parallel    bool
+	parallel bool
+	//msvet:stw-safe rendezvous bookkeeping lock: taken only for bounded counter/cond sections by the stopper and by parked processors, never while holding any simulated lock, so it cannot deadlock against the window
 	parMu       sync.Mutex
 	parCond     *sync.Cond
 	parReleased bool // baton-parked goroutines released into free running

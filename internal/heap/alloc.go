@@ -16,6 +16,9 @@ import (
 // the lock. Allocation MAY SCAVENGE, and scavenging moves objects: the
 // caller must re-read any raw oops held in locals from handles or
 // registered roots afterwards (class is protected internally).
+//
+//msvet:heap-writer allocator initialization writes target the freshly carved, still-unpublished words of the new object; no other processor holds its OOP until Allocate returns
+//msvet:atomic-excluded the fresh words written here are invisible to every other processor (the bump pointer is published under the allocation lock, which is the release fence)
 func (h *Heap) Allocate(p *firefly.Proc, class object.OOP, bodyWords int, f object.Format) object.OOP {
 	var words, slack int
 	if f == object.FmtBytes {
@@ -76,6 +79,9 @@ func (h *Heap) Allocate(p *firefly.Proc, class object.OOP, bodyWords int, f obje
 // AllocateNoGC creates an object that is guaranteed not to trigger a
 // scavenge; it is used by genesis before the interpreter exists and
 // allocates directly in old space. It panics if old space is full.
+//
+//msvet:heap-writer genesis/old-space allocator writing freshly carved, unpublished words under the allocation lock
+//msvet:atomic-excluded runs during genesis or under the allocation lock on words no other processor can yet reference
 func (h *Heap) AllocateNoGC(class object.OOP, bodyWords int, f object.Format) object.OOP {
 	var words, slack int
 	if f == object.FmtBytes {

@@ -174,6 +174,7 @@ type Heap struct {
 	// gcMu serializes copy-buffer chunk carving from the shared spaces
 	// during a parallel host-mode scavenge. Host machinery only: the
 	// virtual cost of a refill is charged separately (ScavengeChunk).
+	//msvet:stw-safe collector-only lock: carveChunk runs exclusively inside the scavenge window, where every mutator is parked at the rendezvous and cannot hold it
 	gcMu sync.Mutex
 
 	// scavDelay, when non-nil, is called by each parallel-scavenge
@@ -244,6 +245,9 @@ func (e OOMError) Error() string {
 // New builds an object memory on machine m and creates the three immortal
 // objects nil, true, and false at their fixed addresses (their class words
 // are patched by the image bootstrap).
+//
+//msvet:heap-writer single-threaded construction: the immortal-object words are written before the heap pointer escapes to any processor
+//msvet:atomic-excluded no goroutine but the constructor can reach h.mem until New returns
 func New(m *firefly.Machine, cfg Config) *Heap {
 	if cfg.OldWords < 1024 || cfg.EdenWords < 256 || cfg.SurvivorWords < 128 {
 		panic("heap: configuration too small")
@@ -365,6 +369,7 @@ func (h *Heap) loadWord(i uint64) uint64 {
 	return h.mem[i]
 }
 
+//msvet:heap-writer the single exit point of the barrier API: every checked store (Store/StoreNoCheck) and collector copy funnels through here
 func (h *Heap) storeWord(i uint64, v uint64) {
 	if h.par {
 		atomic.StoreUint64(&h.mem[i], v)
@@ -379,6 +384,8 @@ func (h *Heap) storeWord(i uint64, v uint64) {
 // parallel mode a plain read-modify-write could lose the other lock's
 // update; the CAS makes each bit-field update atomic with respect to
 // the whole word.
+//
+//msvet:heap-writer the CAS loop IS the header-word store discipline; header bits never hold OOPs, so no store check applies
 func (h *Heap) casHeader(o object.OOP, f func(object.Header) object.Header) object.Header {
 	addr := o.Addr()
 	for {

@@ -88,8 +88,9 @@ type parScav struct {
 	active  atomic.Int32
 	done    atomic.Bool
 	aborted atomic.Bool
-	errMu   sync.Mutex
-	err     any
+	//msvet:stw-safe worker panic-recovery lock: exists only for the duration of one scavenge window; the parked mutators can never observe it held
+	errMu sync.Mutex
+	err   any
 }
 
 // newParScav builds the per-worker state and seeds the deques.

@@ -278,6 +278,8 @@ func (h *Heap) scanObject(o object.OOP) bool {
 
 // CheckInvariants walks the heap verifying structural invariants; it is
 // used by tests and panics on corruption.
+//
+//msvet:atomic-excluded test-only invariant walk over a quiesced heap; callers stop the mutators before calling
 func (h *Heap) CheckInvariants() {
 	checkRegion := func(name string, base, next uint64) {
 		a := base

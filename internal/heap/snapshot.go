@@ -26,6 +26,8 @@ type SnapshotState struct {
 // SnapshotState captures the heap for serialization. The caller must
 // have quiesced the mutators (all interpreter registers flushed into
 // heap objects).
+//
+//msvet:atomic-excluded wholesale read of a caller-quiesced world; no mutator runs while the image is serialized
 func (h *Heap) SnapshotState() *SnapshotState {
 	past := &h.surv[h.past]
 	s := &SnapshotState{
@@ -43,6 +45,9 @@ func (h *Heap) SnapshotState() *SnapshotState {
 // RestoreHeap builds a heap on machine m from a snapshot. The returned
 // heap has the snapshot's geometry, contents, and entry table; roots
 // must be re-registered by the caller (the VM layer).
+//
+//msvet:heap-writer wholesale image restore into a heap no processor has seen yet; the store check has nothing to track until the VM layer re-registers roots
+//msvet:atomic-excluded mutators do not exist yet when the image is copied in
 func RestoreHeap(m *firefly.Machine, s *SnapshotState) (*Heap, error) {
 	h := New(m, s.Config)
 	if len(s.OldUsed) > int(h.old.limit) {

@@ -32,6 +32,7 @@ type greyItem struct {
 
 // worklist is one worker's grey deque.
 type worklist struct {
+	//msvet:stw-safe grey-deque lock: the deques exist only while the world is stopped, shared solely among scavenge workers; no mutator can be parked holding it
 	mu   sync.Mutex
 	head int // index of the oldest unconsumed item
 	buf  []greyItem

@@ -4,66 +4,91 @@ import (
 	"go/ast"
 )
 
-// heapwriteAllow lists the only files permitted to write heap words
-// directly: the allocator (zeroing fresh space), the collectors
-// (moving objects wholesale), and the heap core (Store / StoreNoCheck,
-// the barrier API itself). Everything else — interpreter, display,
-// image loader, the write-barrier *verifier* — must go through the
-// barrier API so the store check (Table 3's entry-table serialization)
-// can never be bypassed silently. verify.go is deliberately absent:
-// the verifier is read-only by construction, and this analyzer keeps
-// it that way.
-var heapwriteAllow = map[string]map[string]bool{
-	"internal/heap": {
-		"alloc.go":       true,
-		"fullgc.go":      true,
-		"heap.go":        true,
-		"parscavenge.go": true, // the parallel collector's copy loop, collector-class
-		"scavenge.go":    true,
-		"snapshot.go":    true, // stop-the-world wholesale restore, collector-class
-	},
-}
-
-// HeapwriteAnalyzer flags direct heap word writes (`X.mem[...] = v`,
-// `copy(X.mem[...], ...)`) outside the allowlist.
+// heapwrite is the fast lexical pre-pass of the heap-store discipline;
+// the flow-based barrierflow analyzer is the real check. The division
+// of labor since the file allowlist was retired:
+//
+//   - Outside internal/heap, a raw heap word write (`X.mem[...] = v`,
+//     `copy(X.mem[...], ...)`) is flagged here unless the enclosing
+//     function carries a lexical `//msvet:heap-writer` annotation —
+//     no type information needed, so this runs on every package in
+//     milliseconds and catches the common case (interpreter, display,
+//     image loader) with a precise local message.
+//   - Inside internal/heap, function-granular policing is barrierflow's
+//     job (annotated funnels or STW-reachable collector code), with one
+//     lexical exception kept here: verify.go, the write-barrier
+//     *verifier*, is read-only by construction and must stay that way —
+//     a write there would let the checker perturb what it checks, and
+//     barrierflow alone would wave it through (the verifier runs inside
+//     the STW window).
 var HeapwriteAnalyzer = &Analyzer{
 	Name: "heapwrite",
-	Doc:  "no direct heap word writes outside the barrier/collector files",
+	Doc:  "no raw heap word writes outside internal/heap; the barrier verifier stays read-only",
 	Run: func(pass *Pass) error {
-		allowed := heapwriteAllow[pass.Path]
+		inHeap := pass.Path == "internal/heap"
 		for _, f := range pass.Files {
-			if f.Test || allowed[f.Name] {
+			if f.Test {
 				continue
 			}
-			ast.Inspect(f.AST, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.AssignStmt:
-					for _, lhs := range n.Lhs {
-						if memTarget(lhs) {
-							pass.Reportf(lhs.Pos(),
-								"direct heap word write %s bypasses the store check; use the barrier API (Store/StoreNoCheck)",
-								exprString(lhs))
-						}
-					}
-				case *ast.IncDecStmt:
-					if memTarget(n.X) {
-						pass.Reportf(n.Pos(),
-							"direct heap word write %s bypasses the store check; use the barrier API",
-							exprString(n.X))
-					}
-				case *ast.CallExpr:
-					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) > 0 {
-						if memSlice(n.Args[0]) {
-							pass.Reportf(n.Pos(),
-								"copy into heap memory bypasses the store check; use the barrier API")
-						}
-					}
+			if inHeap && f.Name != "verify.go" {
+				continue
+			}
+			verifier := inHeap && f.Name == "verify.go"
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
 				}
-				return true
-			})
+				if !verifier && hasLexicalDirective(fd, annHeapWriter) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range n.Lhs {
+							if memTarget(lhs) {
+								pass.Reportf(lhs.Pos(), heapwriteMsg(verifier, exprString(lhs)))
+							}
+						}
+					case *ast.IncDecStmt:
+						if memTarget(n.X) {
+							pass.Reportf(n.Pos(), heapwriteMsg(verifier, exprString(n.X)))
+						}
+					case *ast.CallExpr:
+						if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) > 0 {
+							if memSlice(n.Args[0]) {
+								pass.Reportf(n.Pos(), heapwriteMsg(verifier, "copy into heap memory"))
+							}
+						}
+					}
+					return true
+				})
+			}
 		}
 		return nil
 	},
+}
+
+func heapwriteMsg(verifier bool, what string) string {
+	if verifier {
+		return "write-barrier verifier must stay read-only: " + what + " writes heap memory"
+	}
+	return "direct heap word write " + what + " bypasses the store check; use the barrier API (Store/StoreNoCheck)"
+}
+
+// hasLexicalDirective checks a function's doc comment for a //msvet:
+// directive without type information (this pass also runs on fixture
+// packages and pre-type-check).
+func hasLexicalDirective(fd *ast.FuncDecl, kind string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if k, _, ok := parseDirective(c.Text); ok && k == kind {
+			return true
+		}
+	}
+	return false
 }
 
 // memTarget reports whether e is an index into a `.mem` field

@@ -1,6 +1,7 @@
 // Package msvet is a custom vet suite enforcing the host-code
 // discipline this repository's virtual-time simulation depends on.
-// Five analyzers:
+//
+// Lexical single-file analyzers:
 //
 //   - virttime:   no time.Now / math/rand in virtual-time packages —
 //     host wall-clock or host randomness anywhere in the simulated
@@ -11,20 +12,44 @@
 //   - traceguard: trace/sanitize hook emissions are guarded by nil
 //     checks, so detached observers cost one pointer test and can
 //     never panic.
-//   - heapwrite:  no direct writes to heap words (`.mem[...]`) outside
-//     the heap package's barrier/collector files — everything else
-//     must go through Store and friends, which carry the store check.
+//   - heapwrite:  fast lexical pre-pass: no raw writes to heap words
+//     (`.mem[...]`) outside internal/heap (and none at all in the
+//     read-only write-barrier verifier); inside internal/heap the
+//     flow-based barrierflow analyzer polices function granularity.
 //   - costcharge: internal/jit never invents a virtual-time cost —
 //     literal firefly.Time values, .Advance calls, and literal Cost
 //     fields are forbidden there; compiled bytecodes must charge
 //     through the interpreter's shared cost table.
 //
-// The suite is intentionally stdlib-only (go/ast + go/parser): the
-// build environment has no module proxy access, so the
-// golang.org/x/tools go/analysis driver (and the `go vet -vettool`
-// unitchecker protocol that requires it) is unavailable. The Analyzer
-// and Pass types mirror the go/analysis API shape so the analyzers
-// could be ported to real analysis.Analyzers by swapping the driver.
+// Call-graph-aware module analyzers (type-checked via go/types over
+// the whole module, sharing one loader and one callee-resolution call
+// graph — see loader.go, callgraph.go, annotations.go):
+//
+//   - stwsafe:     computes the set of functions reachable from inside
+//     the stop-the-world window (the region between a StopTheWorld
+//     call and its matching ResumeTheWorld, plus //msvet:stw-entry
+//     roots) and reports any reachable allocation, channel operation,
+//     or acquisition of a lock not annotated //msvet:stw-safe.
+//   - atomicguard: any struct field accessed through sync/atomic
+//     anywhere in the module must be accessed atomically everywhere —
+//     plain reads/writes are flagged outside STW-reachable code and
+//     //msvet:atomic-excluded functions.
+//   - barrierflow: every raw store into object memory (`.mem[...]`)
+//     must sit in a //msvet:heap-writer-annotated funnel or in
+//     STW-reachable collector code, so helper-function indirection
+//     cannot smuggle an unbarriered store past the old file allowlist.
+//   - lockorder:   extracts the static lock-acquisition-order graph
+//     across the call graph, reports static cycles, and emits the
+//     graph as deterministic JSON (`msvet -lockgraph`) for mscheck's
+//     runtime subgraph cross-check.
+//
+// The suite is intentionally stdlib-only (go/ast + go/parser +
+// go/types with the source importer): the build environment has no
+// module proxy access, so the golang.org/x/tools go/analysis driver
+// (and the `go vet -vettool` unitchecker protocol that requires it)
+// is unavailable. The Analyzer and Pass types mirror the go/analysis
+// API shape so the analyzers could be ported to real
+// analysis.Analyzers by swapping the driver.
 // Run it as: go run ./cmd/msvet ./...
 package msvet
 
@@ -39,11 +64,15 @@ import (
 	"strings"
 )
 
-// Analyzer is one static check, go/analysis style.
+// Analyzer is one static check, go/analysis style. Lexical analyzers
+// set Run and are applied per package; call-graph-aware analyzers set
+// RunModule and are applied once to the type-checked module. An
+// analyzer sets exactly one of the two.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one package's worth of parsed files into an analyzer.
@@ -87,7 +116,8 @@ func (f Finding) String() string {
 		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzers returns the full suite in a fixed order.
+// Analyzers returns the full suite in a fixed order: the fast lexical
+// passes first, then the call-graph-aware module passes.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		VirttimeAnalyzer,
@@ -95,6 +125,10 @@ func Analyzers() []*Analyzer {
 		TraceguardAnalyzer,
 		HeapwriteAnalyzer,
 		CostchargeAnalyzer,
+		StwsafeAnalyzer,
+		AtomicguardAnalyzer,
+		BarrierflowAnalyzer,
+		LockorderAnalyzer,
 	}
 }
 
@@ -124,7 +158,7 @@ func LoadModule(root string) ([]*Package, error) {
 		if !strings.HasSuffix(path, ".go") {
 			return nil
 		}
-		f, err := parser.ParseFile(fset, path, nil, 0)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("msvet: %v", err)
 		}
@@ -162,6 +196,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -174,6 +211,65 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// ModulePass carries the whole type-checked module into a
+// call-graph-aware analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Mod.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunSuite applies the full suite — lexical analyzers per package,
+// module analyzers once — and returns the merged findings sorted by
+// position.
+func RunSuite(mod *Module, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	report := func(f Finding) { findings = append(findings, f) }
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				report:   report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("msvet: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Mod: mod, report: report}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("msvet: %s: %v", a.Name, err)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -187,7 +283,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // exprString renders an expression compactly for matching and
@@ -201,6 +296,8 @@ func exprString(e ast.Expr) string {
 	case *ast.CallExpr:
 		return exprString(e.Fun) + "()"
 	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
 		return exprString(e.X) + "[...]"
 	case *ast.ParenExpr:
 		return exprString(e.X)

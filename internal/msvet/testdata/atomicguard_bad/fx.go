@@ -1,0 +1,20 @@
+// Package fixture injects one atomicguard violation: hits is written
+// through sync/atomic in Bump but read plain in Snapshot, with no
+// exclusion annotation and no STW cover.
+package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	cold uint64 // never touched atomically: not tracked
+}
+
+func (c *Counter) Bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Snapshot reads hits without atomic — the injected violation.
+func (c *Counter) Snapshot() uint64 {
+	return c.hits + c.cold
+}

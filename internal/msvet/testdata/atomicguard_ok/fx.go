@@ -1,0 +1,26 @@
+// Package fixture is the clean twin of atomicguard_bad: the plain read
+// sits in a function annotated //msvet:atomic-excluded, and the other
+// accesses are atomic, length-only, or of untracked fields.
+package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	cold uint64
+}
+
+func (c *Counter) Bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counter) Load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// Snapshot folds the counter after the run.
+//
+//msvet:atomic-excluded read-only snapshot taken after every worker goroutine has joined
+func (c *Counter) Snapshot() uint64 {
+	return c.hits + c.cold
+}

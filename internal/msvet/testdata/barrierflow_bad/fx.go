@@ -1,0 +1,24 @@
+// Package fixture injects one barrierflow violation: poke launders a
+// raw heap store past the annotated funnel through an extra call
+// level, and is reachable from the exported Tweak.
+package fixture
+
+type Proc struct{ id int }
+
+type Heap struct {
+	mem []uint64
+}
+
+// storeWord is the audited funnel every checked store goes through.
+//
+//msvet:heap-writer the single barrier exit point of this fixture
+func (h *Heap) storeWord(i, v uint64) { h.mem[i] = v }
+
+func (h *Heap) Store(p *Proc, i, v uint64) { h.storeWord(i, v) }
+
+// poke launders a raw store past the funnel — the injected violation.
+func (h *Heap) poke(i, v uint64) {
+	h.mem[i] = v
+}
+
+func (h *Heap) Tweak(p *Proc, i, v uint64) { h.poke(i, v) }

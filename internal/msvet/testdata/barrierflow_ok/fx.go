@@ -1,0 +1,22 @@
+// Package fixture is the clean twin of barrierflow_bad: every store of
+// a heap word funnels through the one annotated writer.
+package fixture
+
+type Proc struct{ id int }
+
+type Heap struct {
+	mem []uint64
+}
+
+// storeWord is the audited funnel every checked store goes through.
+//
+//msvet:heap-writer the single barrier exit point of this fixture
+func (h *Heap) storeWord(i, v uint64) { h.mem[i] = v }
+
+func (h *Heap) Store(p *Proc, i, v uint64) { h.storeWord(i, v) }
+
+func (h *Heap) Fill(p *Proc, lo, hi, v uint64) {
+	for i := lo; i < hi; i++ {
+		h.Store(p, i, v)
+	}
+}

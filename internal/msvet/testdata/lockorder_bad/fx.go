@@ -1,0 +1,42 @@
+// Package fixture injects one static lock-order cycle: Forward
+// acquires alpha before beta, Backward acquires beta before alpha.
+package fixture
+
+type Proc struct{ id int }
+
+type Machine struct{}
+
+type Spinlock struct{ name string }
+
+func NewSpinlock(name string, m *Machine) *Spinlock { return &Spinlock{name: name} }
+
+func (l *Spinlock) Acquire(p *Proc) {}
+func (l *Spinlock) Release(p *Proc) {}
+
+type Sched struct {
+	alpha *Spinlock
+	beta  *Spinlock
+}
+
+func NewSched(m *Machine) *Sched {
+	return &Sched{
+		alpha: NewSpinlock("alpha", m),
+		beta:  NewSpinlock("beta", m),
+	}
+}
+
+// Forward acquires alpha then beta.
+func (s *Sched) Forward(p *Proc) {
+	s.alpha.Acquire(p)
+	s.beta.Acquire(p)
+	s.beta.Release(p)
+	s.alpha.Release(p)
+}
+
+// Backward acquires beta then alpha — the injected cycle.
+func (s *Sched) Backward(p *Proc) {
+	s.beta.Acquire(p)
+	s.alpha.Acquire(p)
+	s.alpha.Release(p)
+	s.beta.Release(p)
+}

@@ -1,0 +1,46 @@
+// Package fixture is the clean twin of lockorder_bad: every path takes
+// alpha before beta, including the interprocedural one through grab.
+package fixture
+
+type Proc struct{ id int }
+
+type Machine struct{}
+
+type Spinlock struct{ name string }
+
+func NewSpinlock(name string, m *Machine) *Spinlock { return &Spinlock{name: name} }
+
+func (l *Spinlock) Acquire(p *Proc) {}
+func (l *Spinlock) Release(p *Proc) {}
+
+type Sched struct {
+	alpha *Spinlock
+	beta  *Spinlock
+}
+
+func NewSched(m *Machine) *Sched {
+	return &Sched{
+		alpha: NewSpinlock("alpha", m),
+		beta:  NewSpinlock("beta", m),
+	}
+}
+
+// grab takes beta on behalf of a caller already holding alpha: the
+// alpha -> beta edge is discovered interprocedurally.
+func (s *Sched) grab(p *Proc) {
+	s.beta.Acquire(p)
+	s.beta.Release(p)
+}
+
+func (s *Sched) Forward(p *Proc) {
+	s.alpha.Acquire(p)
+	s.grab(p)
+	s.alpha.Release(p)
+}
+
+func (s *Sched) Direct(p *Proc) {
+	s.alpha.Acquire(p)
+	s.beta.Acquire(p)
+	s.beta.Release(p)
+	s.alpha.Release(p)
+}

@@ -138,6 +138,7 @@ type orderWitness struct {
 // The mutex is pure host machinery — it never charges virtual time, so
 // the determinism sentinel still holds.
 type Checker struct {
+	//msvet:stw-safe checker bookkeeping lock: held for bounded map updates only, never across a safepoint or while acquiring any simulated lock
 	mu         sync.Mutex
 	locks      map[string]bool   // lock name → enabled
 	guards     map[string]string // structure → guarding lock name
@@ -355,6 +356,45 @@ func (c *Checker) LockOrderCycles() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lockOrderCycles()
+}
+
+// OrderEdges returns the runtime-observed pairwise acquisition-order
+// edges as sorted "a -> b" strings. Deterministic for a given run: the
+// edge set is a pure function of the simulated schedule.
+func (c *Checker) OrderEdges() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.edges))
+	for e := range c.edges {
+		out = append(out, e.a+" -> "+e.b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StaticOrderViolations cross-checks the run against the static
+// lock-order graph (msvet -lockgraph): every acquisition-order edge
+// observed at runtime must already be predicted by the static
+// analysis, so the runtime graph is a subgraph of the static one. A
+// returned edge means the static call graph missed an acquire path
+// (usually dynamic dispatch) — an audit gap, reported with the
+// first-witness processor and virtual time.
+func (c *Checker) StaticOrderViolations(staticEdges []string) []string {
+	static := map[string]bool{}
+	for _, e := range staticEdges {
+		static[e] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for e, w := range c.edges {
+		s := e.a + " -> " + e.b
+		if !static[s] {
+			out = append(out, fmt.Sprintf("%s (first witnessed on proc %d at %d)", s, w.proc, w.at))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (c *Checker) lockOrderCycles() []string {

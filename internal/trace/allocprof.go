@@ -36,6 +36,7 @@ type allocSite struct {
 // the config layer anyway (site attribution needs the interpreter's
 // per-processor state mid-bytecode).
 type AllocProfiler struct {
+	//msvet:stw-safe profiler table lock: the GC hooks (NoteSurvived/NoteTenured) fire from inside the scavenge window and the lock is held only for bounded map/slice updates; the profiler refuses parallel mode anyway
 	mu    sync.Mutex
 	names []string
 	index map[string]int

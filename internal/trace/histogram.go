@@ -236,6 +236,7 @@ type LatencyHists struct {
 	lockNames []string
 	lockHists []*Histogram
 
+	//msvet:stw-safe critical-path accumulator lock: AddCriticalPath is called once at scavenge end while the world is still stopped; bounded append, no nesting
 	cpMu      sync.Mutex
 	critPaths []GCCriticalPath
 }
