@@ -13,6 +13,9 @@
 //	                           at 1/2/4/8 simulated processors vs serial
 //	msbench -ablation jit      extension: msjit template tier vs interpreter,
 //	                           host speedup with bit-identical virtual times
+//	msbench -ablation serve    extension: multi-tenant image server under a
+//	                           fixed open-loop load at 1/2/4/8 executors,
+//	                           throughput and latency percentiles
 //	msbench -json results.json     machine-readable Table 2 + IC ablation
 //	msbench -jit               include the msjit ablation in -json, -gate,
 //	                           and -fingerprint runs
@@ -65,7 +68,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 matrix")
 	figure2 := flag.Bool("figure2", false, "run Table 2 and print it normalized (Figure 2)")
 	table3 := flag.Bool("table3", false, "print Table 3 (strategy applications)")
-	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge|jit")
+	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge|jit|serve")
 	jitFlag := flag.Bool("jit", false, "include the msjit ablation in -json/-gate/-fingerprint runs")
 	jsonPath := flag.String("json", "", "write machine-readable results (Table 2 + inline-cache ablation) to this file")
 	sweep := flag.Bool("sweep", false, "processor sweep (extension: busy overhead vs processor count)")
@@ -139,6 +142,10 @@ func main() {
 			a, err := bench.RunJITAblation()
 			check(err)
 			fmt.Println(a.Format())
+		case "serve":
+			a, err := bench.RunServeBench()
+			check(err)
+			fmt.Println(a.Format())
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
 			os.Exit(2)
@@ -148,7 +155,7 @@ func main() {
 		runAblation(*ablation)
 	}
 	if *all {
-		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge", "jit"} {
+		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge", "jit", "serve"} {
 			fmt.Fprintf(os.Stderr, "running ablation %s...\n", name)
 			runAblation(name)
 		}

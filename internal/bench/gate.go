@@ -229,6 +229,42 @@ func RunGate(baseline, fresh *JSONReport, baselinePath string, tol float64) *Gat
 		}
 	}
 
+	// The serve benchmark, keyed by (executors, parallel). Counts,
+	// makespan, and the latency summaries are deterministic; the
+	// parallel-equivalence verdict is pinned true.
+	if baseline.Serve != nil {
+		freshServe := map[string]*ServeRow{}
+		if fresh.Serve != nil {
+			for i := range fresh.Serve.Rows {
+				r := &fresh.Serve.Rows[i]
+				freshServe[fmt.Sprintf("%d/%v", r.Executors, r.Parallel)] = r
+			}
+		}
+		for i := range baseline.Serve.Rows {
+			br := &baseline.Serve.Rows[i]
+			key := fmt.Sprintf("%d/%v", br.Executors, br.Parallel)
+			where := "serve/executors=" + key
+			fr, ok := freshServe[key]
+			if !ok {
+				g.fail(where, "serve row missing from fresh run")
+				continue
+			}
+			gateExact(g, where, "offered", br.Offered, fr.Offered)
+			gateExact(g, where, "admitted", br.Admitted, fr.Admitted)
+			gateExact(g, where, "rejected", br.Rejected, fr.Rejected)
+			gateExact(g, where, "rejected_share", br.RejectedShare, fr.RejectedShare)
+			gateExact(g, where, "completed", br.Completed, fr.Completed)
+			gateExact(g, where, "errors", br.Errors, fr.Errors)
+			gateExact(g, where, "makespan_ticks", br.MakespanTicks, fr.MakespanTicks)
+			gateServeHist(g, where, "latency", &br.Latency, &fr.Latency)
+			gateServeHist(g, where, "wait", &br.Wait, &fr.Wait)
+			gateServeHist(g, where, "service", &br.Service, &fr.Service)
+		}
+		if fresh.Serve != nil {
+			gateExact(g, "serve", "parallel_matches_det", true, fresh.Serve.ParallelMatchesDet)
+		}
+	}
+
 	// Host-time drift, on normalized ratios.
 	baseRatio, freshRatio := hostRatios(baseline), hostRatios(fresh)
 	keys := make([]string, 0, len(baseRatio))
@@ -291,6 +327,18 @@ func gateHist(g *GateReport, where, what string, base, fresh *trace.HistSnapshot
 	gateExact(g, where, what+".sum", base.Sum, fresh.Sum)
 	gateExact(g, where, what+".max", base.Max, fresh.Max)
 	gateExact(g, where, what+".buckets", fmt.Sprint(base.Buckets), fmt.Sprint(fresh.Buckets))
+}
+
+// gateServeHist pins a serve latency summary: the serve rows drop
+// their bucket vectors to keep the report small, so the gate compares
+// the summary columns (which the percentiles are derived from) exactly.
+func gateServeHist(g *GateReport, where, what string, base, fresh *trace.HistSnapshot) {
+	gateExact(g, where, what+".count", base.Count, fresh.Count)
+	gateExact(g, where, what+".sum", base.Sum, fresh.Sum)
+	gateExact(g, where, what+".max", base.Max, fresh.Max)
+	gateExact(g, where, what+".p50", base.P50, fresh.P50)
+	gateExact(g, where, what+".p95", base.P95, fresh.P95)
+	gateExact(g, where, what+".p99", base.P99, fresh.P99)
 }
 
 // gateLatency compares the schema-3 latency section. Either both runs
@@ -381,6 +429,15 @@ func Fingerprint(r *JSONReport, w io.Writer) error {
 		}
 		jr.MedianSpeedup = 0
 		cp.JIT = &jr
+	}
+	if r.Serve != nil {
+		sr := *r.Serve
+		sr.Rows = make([]ServeRow, len(r.Serve.Rows))
+		for i, row := range r.Serve.Rows {
+			row.HostNS = 0
+			sr.Rows[i] = row
+		}
+		cp.Serve = &sr
 	}
 	return cp.Write(w)
 }

@@ -71,6 +71,10 @@ type JSONReport struct {
 	// and the fingerprint; the host nanoseconds and speedups are zeroed
 	// in the fingerprint like every other host time.
 	JIT *JITReport `json:"jit,omitempty"`
+	// Serve is the multi-tenant image-server benchmark (cmd/msserve):
+	// one open-loop schedule at 1/2/4/8 executors plus the parallel
+	// equivalence row. Virtual columns ride the gate and fingerprint.
+	Serve *ServeBenchReport `json:"serve,omitempty"`
 }
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
@@ -126,6 +130,12 @@ func RunJSONReport(includeJIT bool) (*JSONReport, error) {
 		return nil, err
 	}
 	r.ParScavenge = ps
+
+	sv, err := RunServeBench()
+	if err != nil {
+		return nil, err
+	}
+	r.Serve = sv
 
 	if includeJIT {
 		jr, err := RunJITAblation()

@@ -541,6 +541,51 @@ func (s *System) SaveImage(w io.Writer) error {
 	return snapErr
 }
 
+// Checkpoint is an in-memory snapshot of a booted system, reusable as
+// the base of any number of clones. The multi-tenant image server
+// captures one checkpoint of the booted base image and materializes a
+// private session per tenant from it; the checkpoint itself is
+// immutable after capture, so clones share it safely.
+type Checkpoint struct {
+	state *image.State
+	cfg   Config
+}
+
+// Checkpoint captures the system in memory after parking every Process
+// (the same quiesce SaveImage performs); the running system continues
+// afterwards.
+func (s *System) Checkpoint() (*Checkpoint, error) {
+	cp := &Checkpoint{cfg: s.Cfg}
+	err := s.VM.Do(func(p *firefly.Proc) {
+		s.VM.ParkAllProcesses(p)
+		cp.state = image.CaptureState(s.VM)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// NewFromCheckpoint boots an independent system from a checkpoint on a
+// fresh machine with the given processor count. Like LoadImage, but
+// without a serialization round trip: the clone copies the checkpoint's
+// heap words directly, so cloning N tenants from one checkpoint costs N
+// heap copies and no gob decode.
+func NewFromCheckpoint(processors int, cp *Checkpoint) (*System, error) {
+	if processors < 1 {
+		return nil, fmt.Errorf("core: need at least one processor")
+	}
+	m := firefly.New(processors, firefly.DefaultCosts())
+	vm, err := image.CloneVM(m, cp.state)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cp.cfg
+	cfg.Processors = processors
+	cfg.Parallel = false
+	return &System{Cfg: cfg, VM: vm}, nil
+}
+
 // LoadImage boots a system from a snapshot on a fresh machine with the
 // given processor count. Processes that were on the ready queue at
 // snapshot time resume when evaluation next drives the machine.

@@ -61,6 +61,48 @@ func ReadSnapshot(m *firefly.Machine, r io.Reader) (*interp.VM, error) {
 	return vm, nil
 }
 
+// State is an in-memory image snapshot: the same three pieces the
+// on-disk format serializes, held as live structures instead of gob
+// bytes. One State can seed any number of clones — the multi-tenant
+// image server captures the booted base image once and materializes a
+// private copy per tenant session (the copy happens at CloneVM; until
+// then every tenant shares the single immutable State).
+type State struct {
+	Heap   *heap.SnapshotState
+	Tables *interp.VMTables
+	VMCfg  interp.Config
+}
+
+// CaptureState snapshots a quiesced image in memory. Callers must have
+// parked every Process first (core.System.Checkpoint does); the
+// captured slices are private copies, so the running image may continue
+// mutating afterwards.
+func CaptureState(vm *interp.VM) *State {
+	return &State{
+		Heap:   vm.H.SnapshotState(),
+		Tables: vm.SnapshotTables(),
+		VMCfg:  vm.Cfg,
+	}
+}
+
+// CloneVM materializes an independent VM from a captured State on a
+// fresh machine. The State is read-only here: the heap restore and the
+// table restore copy every word, so clones of the same State share
+// nothing mutable — one clone's stores, scavenges, and full collections
+// cannot reach a sibling.
+func CloneVM(m *firefly.Machine, s *State) (*interp.VM, error) {
+	h, err := heap.RestoreHeap(m, s.Heap)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := interp.RestoreVM(m, h, s.VMCfg, s.Tables)
+	if err != nil {
+		return nil, err
+	}
+	installSnapshotPrim(vm)
+	return vm, nil
+}
+
 // installSnapshotPrim hooks primitive 139 up to a file-writing snapshot.
 func installSnapshotPrim(vm *interp.VM) {
 	vm.SetSnapshotFunc(func(vm *interp.VM, path string) error {

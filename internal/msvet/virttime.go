@@ -21,6 +21,11 @@ var virtualTimePackages = map[string]bool{
 	"internal/trace":    true,
 	"internal/sanitize": true,
 	"internal/core":     true,
+	// The image server's scheduling and its open-loop arrival generator
+	// are virtual-time: every latency and every admission decision must
+	// replay bit-identically from the seed.
+	"internal/serve":         true,
+	"internal/serve/loadgen": true,
 }
 
 // forbiddenImports maps import path → why it is forbidden.

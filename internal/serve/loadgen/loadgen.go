@@ -1,0 +1,97 @@
+// Package loadgen generates open-loop request arrivals for the
+// multi-tenant image server (internal/serve).
+//
+// Open-loop means the arrival schedule is fixed before the server runs:
+// requests arrive at their scheduled virtual times whether or not
+// earlier requests have finished, so a slow server builds queue depth
+// (and sheds load) instead of silently slowing the offered rate the way
+// the closed-loop macro benchmarks do. This is the property that makes
+// p99 latency meaningful: under closed-loop driving, coordinated
+// omission hides exactly the samples the tail is made of.
+//
+// The generator is deterministic: the schedule is a pure function of
+// the seed and the configuration, computed with integer arithmetic only
+// (a splitmix64 stream, no floats, no host randomness), so two runs
+// with the same seed produce bit-identical arrival schedules on every
+// platform — which is what lets the serve benchmark rows ride the exact
+// regression gate and the determinism fingerprint.
+package loadgen
+
+// Arrival is one scheduled request: a virtual arrival time in ticks,
+// the tenant it addresses (its conflict class), and the catalog index
+// of the request kind.
+type Arrival struct {
+	At     int64
+	Tenant int
+	Kind   int
+}
+
+// Config parameterizes a schedule.
+type Config struct {
+	Seed     uint64
+	Requests int
+	// MeanGapTicks is the mean virtual inter-arrival time. Gaps are
+	// drawn uniformly from [mean/2, 3*mean/2], so the offered rate is
+	// 1/MeanGapTicks requests per tick with bounded jitter.
+	MeanGapTicks int64
+	Tenants      int
+	Kinds        int // catalog size; 0 means one kind
+	// HotTenant (when >= 0) receives HotPercent of the arrivals; the
+	// remainder spread uniformly over the other tenants. Used to drive
+	// the per-tenant fairness path of admission control.
+	HotTenant  int
+	HotPercent int
+}
+
+// rng is a splitmix64 stream: deterministic, integer-only, and good
+// enough to decorrelate gaps from tenant and kind picks.
+type rng struct{ x uint64 }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9E3779B97F4A7C15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Schedule computes the arrival schedule: Requests arrivals in
+// nondecreasing virtual time. It is a pure function of cfg.
+func Schedule(cfg Config) []Arrival {
+	if cfg.Requests <= 0 || cfg.Tenants <= 0 {
+		return nil
+	}
+	mean := cfg.MeanGapTicks
+	if mean < 2 {
+		mean = 2
+	}
+	kinds := cfg.Kinds
+	if kinds < 1 {
+		kinds = 1
+	}
+	r := &rng{x: cfg.Seed}
+	out := make([]Arrival, 0, cfg.Requests)
+	var at int64
+	for i := 0; i < cfg.Requests; i++ {
+		at += mean/2 + int64(r.next()%uint64(mean+1))
+		tenant := 0
+		if cfg.HotTenant >= 0 && cfg.HotTenant < cfg.Tenants && cfg.Tenants > 1 {
+			if int(r.next()%100) < cfg.HotPercent {
+				tenant = cfg.HotTenant
+			} else {
+				tenant = int(r.next() % uint64(cfg.Tenants-1))
+				if tenant >= cfg.HotTenant {
+					tenant++
+				}
+			}
+		} else {
+			tenant = int(r.next() % uint64(cfg.Tenants))
+		}
+		out = append(out, Arrival{
+			At:     at,
+			Tenant: tenant,
+			Kind:   int(r.next() % uint64(kinds)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScheduleDeterministic: the schedule is a pure function of the
+// config — same seed, bit-identical schedule; different seed, a
+// different one.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Requests: 500, MeanGapTicks: 800, Tenants: 4, Kinds: 5, HotTenant: -1}
+	a := Schedule(cfg)
+	b := Schedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	cfg.Seed = 43
+	c := Schedule(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleShape: arrival times are strictly increasing (gaps are
+// at least mean/2 >= 1), tenants and kinds stay in range, and the
+// request count is exact.
+func TestScheduleShape(t *testing.T) {
+	cfg := Config{Seed: 7, Requests: 1000, MeanGapTicks: 300, Tenants: 6, Kinds: 5, HotTenant: -1}
+	s := Schedule(cfg)
+	if len(s) != cfg.Requests {
+		t.Fatalf("got %d arrivals, want %d", len(s), cfg.Requests)
+	}
+	var prev int64
+	for i, a := range s {
+		if a.At <= prev {
+			t.Fatalf("arrival %d at %d not after %d", i, a.At, prev)
+		}
+		prev = a.At
+		if a.Tenant < 0 || a.Tenant >= cfg.Tenants {
+			t.Fatalf("arrival %d tenant %d out of range", i, a.Tenant)
+		}
+		if a.Kind < 0 || a.Kind >= cfg.Kinds {
+			t.Fatalf("arrival %d kind %d out of range", i, a.Kind)
+		}
+	}
+	// Mean gap stays near the configured mean (uniform on
+	// [mean/2, 3*mean/2]): the last arrival lands within 25% of
+	// requests*mean.
+	want := int64(cfg.Requests) * cfg.MeanGapTicks
+	if last := s[len(s)-1].At; last < want*3/4 || last > want*5/4 {
+		t.Fatalf("span %d far from expected %d", last, want)
+	}
+}
+
+// TestScheduleHotTenant: the skewed generator routes roughly
+// HotPercent of arrivals to the hot tenant and still exercises every
+// cold tenant.
+func TestScheduleHotTenant(t *testing.T) {
+	cfg := Config{Seed: 11, Requests: 2000, MeanGapTicks: 100, Tenants: 4, Kinds: 5, HotTenant: 2, HotPercent: 80}
+	s := Schedule(cfg)
+	counts := make([]int, cfg.Tenants)
+	for _, a := range s {
+		counts[a.Tenant]++
+	}
+	hot := counts[cfg.HotTenant]
+	if hot < cfg.Requests*70/100 || hot > cfg.Requests*90/100 {
+		t.Fatalf("hot tenant got %d of %d arrivals, want ~80%%", hot, cfg.Requests)
+	}
+	for id, n := range counts {
+		if id != cfg.HotTenant && n == 0 {
+			t.Fatalf("cold tenant %d received no arrivals", id)
+		}
+	}
+}
+
+// TestScheduleEmpty: degenerate configs produce empty schedules
+// instead of panicking.
+func TestScheduleEmpty(t *testing.T) {
+	if s := Schedule(Config{}); s != nil {
+		t.Fatalf("zero config: got %d arrivals, want none", len(s))
+	}
+	if s := Schedule(Config{Requests: 5}); s != nil {
+		t.Fatal("zero tenants: got arrivals, want none")
+	}
+}

@@ -174,6 +174,7 @@ type HistSnapshot struct {
 	Max     int64        `json:"max"`
 	P50     int64        `json:"p50"`
 	P90     int64        `json:"p90"`
+	P95     int64        `json:"p95"`
 	P99     int64        `json:"p99"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
@@ -186,6 +187,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		Max:   h.Max(),
 		P50:   h.Percentile(50),
 		P90:   h.Percentile(90),
+		P95:   h.Percentile(95),
 		P99:   h.Percentile(99),
 	}
 	for i := range h.counts {

@@ -24,6 +24,10 @@ import (
 //	pid 4 "jit" — template-tier compile and deopt instants, one thread
 //	      per compiling processor (declared lazily, so traces from runs
 //	      with the tier off are unchanged).
+//	pid 5 "serve" — one thread per tenant session: request slices from
+//	      pickup to response (named by request kind, with executor and
+//	      latency args) and admission-rejection instants (declared
+//	      lazily, so non-server traces are unchanged).
 //
 // The ring buffer may have overwritten the oldest events, so pairing is
 // tolerant: an end with no matching begin is dropped, and a begin with
@@ -34,6 +38,7 @@ const (
 	pidLocks = 2
 	pidGC    = 3
 	pidJIT   = 4
+	pidServe = 5
 )
 
 type pfEvent struct {
@@ -195,6 +200,26 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 		return 1 + int(worker)
 	}
 
+	// Image-server tracks: one thread per tenant, declared lazily like
+	// the template-tier tracks. A request opens at KServeStart and
+	// closes at the tenant's next KServeDone — a tenant's requests never
+	// overlap (one conflict class runs one request at a time), so the
+	// pairing needs no stack.
+	serveSeen := map[int64]bool{}
+	serveMeta := false
+	serveOpen := map[int64]openSlice{}
+	serveTid := func(tenant int64) int {
+		if !serveMeta {
+			serveMeta = true
+			b.meta(pidServe, "serve")
+		}
+		if !serveSeen[tenant] {
+			serveSeen[tenant] = true
+			b.thread(pidServe, int(tenant), "tenant "+itoa(int(tenant)))
+		}
+		return int(tenant)
+	}
+
 	// Template-tier tracks: compile/deopt instants per processor,
 	// declared lazily like the scavenge workers.
 	jitSeen := map[int32]bool{}
@@ -312,6 +337,32 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 				}
 				b.instant(pidProcs, pt.tid, name, e.At, nil)
 			}
+		case KServeStart:
+			tid := serveTid(e.Arg1)
+			if prev, ok := serveOpen[e.Arg1]; ok {
+				// Done lost to ring truncation: close at this pickup so
+				// a tenant's request slices stay disjoint.
+				b.slice(pidServe, tid, prev.name, prev.ts, e.At-prev.ts, nil)
+			}
+			name := e.Str
+			if name == "" {
+				name = "request"
+			}
+			serveOpen[e.Arg1] = openSlice{name: name, ts: e.At}
+		case KServeDone:
+			tid := serveTid(e.Arg1)
+			if start, ok := serveOpen[e.Arg1]; ok {
+				b.slice(pidServe, tid, start.name, start.ts, e.At-start.ts,
+					map[string]any{"executor": e.Proc, "latency_ticks": e.Arg2})
+				delete(serveOpen, e.Arg1)
+			}
+		case KServeReject:
+			why := "queue-full"
+			if e.Arg2 == 1 {
+				why = "tenant-share"
+			}
+			b.instant(pidServe, serveTid(e.Arg1), "rejected: "+why, e.At,
+				map[string]any{"executor": e.Proc})
 		case KJITCompile:
 			b.instant(pidJIT, jitTid(e.Proc), "compile "+e.Str, e.At,
 				map[string]any{"instrs": e.Arg1})
@@ -363,6 +414,15 @@ func WritePerfetto(w io.Writer, events []Event, numProcs int) error {
 	sort.Slice(openWorkers, func(i, j int) bool { return openWorkers[i] < openWorkers[j] })
 	for _, w := range openWorkers {
 		b.slice(pidGC, scavWorkerTid(w), "copy", scavWorkerOpen[w], maxTs-scavWorkerOpen[w], nil)
+	}
+	var openTenants []int64
+	for t := range serveOpen {
+		openTenants = append(openTenants, t)
+	}
+	sort.Slice(openTenants, func(i, j int) bool { return openTenants[i] < openTenants[j] })
+	for _, t := range openTenants {
+		s := serveOpen[t]
+		b.slice(pidServe, serveTid(t), s.name, s.ts, maxTs-s.ts, nil)
 	}
 
 	enc := json.NewEncoder(w)

@@ -74,6 +74,13 @@ const (
 	KHeapOccupancy // Arg1 = eden words in use, Arg2 = old words in use
 	KGCPause       // Arg1 = pause ticks, Arg2 = 0 scavenge / 1 full gc
 
+	// Image-server events (emitted by internal/serve). Proc is the
+	// executor processor; Arg1 is the tenant, so the Perfetto export can
+	// lay requests out on one track per tenant.
+	KServeStart  // request picked up; Str = request kind, Arg1 = tenant, Arg2 = queue wait ticks
+	KServeDone   // response produced; Arg1 = tenant, Arg2 = request latency ticks
+	KServeReject // request shed at admission; Arg1 = tenant, Arg2 = 1 tenant-share / 0 queue-full
+
 	numKinds
 )
 
@@ -88,6 +95,7 @@ var kindNames = [numKinds]string{
 	"scav-worker-begin", "scav-worker-end", "scav-steal",
 	"jit-compile", "jit-deopt",
 	"heap-occupancy", "gc-pause",
+	"serve-start", "serve-done", "serve-reject",
 }
 
 func (k Kind) String() string {
