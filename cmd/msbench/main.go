@@ -16,9 +16,15 @@
 //	msbench -ablation serve    extension: multi-tenant image server under a
 //	                           fixed open-loop load at 1/2/4/8 executors,
 //	                           throughput and latency percentiles
+//	msbench -ablation concmark extension: SATB concurrent old-space marking
+//	                           vs the stop-the-world mark-compact over a
+//	                           growing live set; the concurrent windows
+//	                           stay bounded while the serial pause grows
 //	msbench -json results.json     machine-readable Table 2 + IC ablation
 //	msbench -jit               include the msjit ablation in -json, -gate,
 //	                           and -fingerprint runs
+//	msbench -concmark          include the concurrent-marking ablation in
+//	                           -json, -gate, and -fingerprint runs
 //	msbench -trace out.json    flight-record one busy benchmark; export
 //	                           Chrome trace-event JSON for ui.perfetto.dev
 //	msbench -profile           selector-level virtual-time profile of the
@@ -68,8 +74,9 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 matrix")
 	figure2 := flag.Bool("figure2", false, "run Table 2 and print it normalized (Figure 2)")
 	table3 := flag.Bool("table3", false, "print Table 3 (strategy applications)")
-	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge|jit|serve")
+	ablation := flag.String("ablation", "", "run one ablation: freelist|methodcache|alloc|scavenge|inlinecache|parscavenge|jit|serve|concmark")
 	jitFlag := flag.Bool("jit", false, "include the msjit ablation in -json/-gate/-fingerprint runs")
+	concFlag := flag.Bool("concmark", false, "include the concurrent-marking ablation in -json/-gate/-fingerprint runs")
 	jsonPath := flag.String("json", "", "write machine-readable results (Table 2 + inline-cache ablation) to this file")
 	sweep := flag.Bool("sweep", false, "processor sweep (extension: busy overhead vs processor count)")
 	micro := flag.Bool("micro", false, "micro benchmark suite (extension: per-operation static costs)")
@@ -146,6 +153,10 @@ func main() {
 			a, err := bench.RunServeBench()
 			check(err)
 			fmt.Println(a.Format())
+		case "concmark":
+			a, err := bench.RunConcMarkAblation()
+			check(err)
+			fmt.Println(bench.FormatConcMark(a))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
 			os.Exit(2)
@@ -155,7 +166,7 @@ func main() {
 		runAblation(*ablation)
 	}
 	if *all {
-		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge", "jit", "serve"} {
+		for _, name := range []string{"freelist", "methodcache", "alloc", "scavenge", "inlinecache", "parscavenge", "jit", "serve", "concmark"} {
 			fmt.Fprintf(os.Stderr, "running ablation %s...\n", name)
 			runAblation(name)
 		}
@@ -239,7 +250,7 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "running json report...")
 		var err error
-		report, err = bench.RunJSONReport(*jitFlag)
+		report, err = bench.RunJSONReport(*jitFlag, *concFlag)
 		check(err)
 		report.Parallel = par
 		if f != nil {

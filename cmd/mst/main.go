@@ -25,6 +25,11 @@
 //	mst -parscavenge -e "..."        cooperative parallel scavenging:
 //	                                 every processor copies survivors
 //	                                 during the stop-the-world window
+//	mst -concmark -e "..."           concurrent old-space marking: full
+//	                                 collections mark in bounded slices
+//	                                 between mutator quanta, with two
+//	                                 short stop-the-world windows and a
+//	                                 lazy free-list sweep
 //	mst -jit -e "..."                msjit template tier: hot methods run
 //	                                 as pre-specialized closure arrays
 //	                                 (virtual times and results are
@@ -58,6 +63,7 @@ func main() {
 	sanFlag := flag.Bool("sanitize", false, "attach the mscheck invariant sanitizer; report violations and exit non-zero on any")
 	parallel := flag.Bool("parallel", false, "true-parallel host mode: run virtual processors on real goroutines (wall-clock scheduling; virtual times become host-schedule-dependent)")
 	parScav := flag.Bool("parscavenge", false, "cooperative parallel scavenging: all processors copy survivors during the stop-the-world window (works in both the deterministic and -parallel modes)")
+	concMark := flag.Bool("concmark", false, "concurrent old-space marking: full collections run as SATB marking cycles with bounded stop-the-world windows and a lazy free-list sweep (works in both the deterministic and -parallel modes)")
 	jitFlag := flag.Bool("jit", false, "msjit template tier: compile hot methods to pre-specialized closure arrays (bit-identical virtual behavior)")
 	flag.Parse()
 
@@ -90,6 +96,7 @@ func main() {
 	cfg.Sanitize = *sanFlag
 	cfg.Parallel = *parallel
 	cfg.ParScavenge = *parScav
+	cfg.ConcMark = *concMark
 	cfg.JIT = *jitFlag
 	sys, err := mst.NewSystem(cfg)
 	check(err)

@@ -286,6 +286,109 @@ func TestGoldenParScavengeOff(t *testing.T) {
 	}
 }
 
+// TestGoldenConcMarkOff: with the SATB concurrent marker compiled in
+// but disabled (the default), every standard state must reproduce the
+// golden virtual times bit-for-bit — the deletion-barrier hook in the
+// store funnels and the restructured full-collection entry are required
+// to be invisible when the feature is off — and an explicit
+// ConcMark=false config must match the implicit default exactly.
+func TestGoldenConcMarkOff(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func(explicitOff bool) outcome {
+				s := st
+				if explicitOff {
+					base := s.Config
+					s.Config = func() core.Config {
+						cfg := base()
+						cfg.ConcMark = false
+						return cfg
+					}
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := goldenVMS[st.Name][b]; vms != want {
+						t.Errorf("%s %s: vms = %d, want golden %d", st.Name, b, vms, want)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				return o
+			}
+			implicit, explicit := run(false), run(true)
+			if !reflect.DeepEqual(implicit, explicit) {
+				t.Errorf("%s: explicit ConcMark=false diverges from the default:\ndefault:  %+v\nexplicit: %+v",
+					st.Name, implicit, explicit)
+			}
+			hs := implicit.stats.Heap
+			if hs.ConcMarkCycles != 0 || hs.ConcMarkSlices != 0 || hs.ConcMarkShaded != 0 {
+				t.Errorf("%s: concurrent marking ran in a default config (cycles=%d slices=%d shades=%d); the feature must be off",
+					st.Name, hs.ConcMarkCycles, hs.ConcMarkSlices, hs.ConcMarkShaded)
+			}
+		})
+	}
+}
+
+// TestGoldenConcMarkDeterminism: with the concurrent marker ON under
+// the deterministic scheduler, two identical runs of every standard
+// state must agree bit-for-bit — virtual times and the complete Stats
+// snapshot, concmark counters included. The mark slices interleave with
+// the mutator at safepoints only, so the whole cycle is replayable.
+func TestGoldenConcMarkDeterminism(t *testing.T) {
+	for _, st := range bench.StandardStates() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			type outcome struct {
+				vms   []int64
+				stats core.Stats
+			}
+			run := func() outcome {
+				s := st
+				base := s.Config
+				s.Config = func() core.Config {
+					cfg := base()
+					cfg.ConcMark = true
+					return cfg
+				}
+				sys, err := bench.NewBenchSystem(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Shutdown()
+				var o outcome
+				for _, b := range []string{"printClassHierarchy", "decompileClass"} {
+					vms, err := bench.RunMacro(sys, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o.vms = append(o.vms, vms)
+				}
+				o.stats = sys.Stats()
+				return o
+			}
+			first, second := run(), run()
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("%s: two -concmark runs diverge:\nfirst:  %+v\nsecond: %+v",
+					st.Name, first, second)
+			}
+		})
+	}
+}
+
 func TestGoldenDeterminism(t *testing.T) {
 	for _, st := range bench.StandardStates() {
 		st := st

@@ -229,6 +229,49 @@ func RunGate(baseline, fresh *JSONReport, baselinePath string, tol float64) *Gat
 		}
 	}
 
+	// The concurrent-marking ablation, keyed by live-window size. Every
+	// column is deterministic and compared exactly; on top of that, the
+	// fresh run is held to the pause-bound property itself — the
+	// concurrent marker's longest stop-the-world window must undercut
+	// the serial full-GC pause — so a scheduling change that erodes the
+	// bound fails even if someone refreshes the baseline mechanically.
+	if baseline.ConcMark != nil {
+		freshCM := map[int]*ConcMarkRow{}
+		if fresh.ConcMark != nil {
+			for i := range fresh.ConcMark.Rows {
+				r := &fresh.ConcMark.Rows[i]
+				freshCM[r.Keep] = r
+			}
+		}
+		for i := range baseline.ConcMark.Rows {
+			br := &baseline.ConcMark.Rows[i]
+			where := fmt.Sprintf("concmark/keep=%d", br.Keep)
+			fr, ok := freshCM[br.Keep]
+			if !ok {
+				g.fail(where, "ablation row missing from fresh run")
+				continue
+			}
+			gateExact(g, where, "full_collections", br.FullCollects, fr.FullCollects)
+			gateExact(g, where, "serial_full_gc_ticks", br.SerialTicks, fr.SerialTicks)
+			gateExact(g, where, "conc_full_gc_ticks", br.ConcTicks, fr.ConcTicks)
+			gateExact(g, where, "serial_max_pause_ticks", br.SerialMaxPause, fr.SerialMaxPause)
+			gateExact(g, where, "conc_max_pause_ticks", br.ConcMaxPause, fr.ConcMaxPause)
+			gateExact(g, where, "conc_mark_cycles", br.Cycles, fr.Cycles)
+			gateExact(g, where, "conc_mark_slices", br.Slices, fr.Slices)
+			gateExact(g, where, "conc_mark_marked_objects", br.Marked, fr.Marked)
+			gateExact(g, where, "conc_mark_barrier_shades", br.Shaded, fr.Shaded)
+			gateExact(g, where, "conc_reclaimed_old_words", br.ReclaimedWords, fr.ReclaimedWords)
+			gateExact(g, where, "serial_pause", fmt.Sprint(br.SerialPause), fmt.Sprint(fr.SerialPause))
+			gateExact(g, where, "conc_pause", fmt.Sprint(br.ConcPause), fmt.Sprint(fr.ConcPause))
+			gateExact(g, where, "conc_slice", fmt.Sprint(br.ConcSlice), fmt.Sprint(fr.ConcSlice))
+			g.Exact++
+			if fr.ConcMaxPause >= fr.SerialMaxPause {
+				g.fail(where, "pause bound broken: concurrent max pause %d ticks >= serial max pause %d ticks",
+					fr.ConcMaxPause, fr.SerialMaxPause)
+			}
+		}
+	}
+
 	// The serve benchmark, keyed by (executors, parallel). Counts,
 	// makespan, and the latency summaries are deterministic; the
 	// parallel-equivalence verdict is pinned true.
@@ -358,6 +401,8 @@ func gateLatency(g *GateReport, w string, base, fresh *trace.LatencyMetrics) {
 	gateHist(g, w, "scav_copy", &base.ScavCopy, &fresh.ScavCopy)
 	gateHist(g, w, "scav_term", &base.ScavTerm, &fresh.ScavTerm)
 	gateHist(g, w, "full_gc_pause", &base.FullGCPause, &fresh.FullGCPause)
+	gateHist(g, w, "conc_mark_pause", &base.ConcMarkPause, &fresh.ConcMarkPause)
+	gateHist(g, w, "conc_mark_slice", &base.ConcMarkSlice, &fresh.ConcMarkSlice)
 	gateHist(g, w, "dispatch", &base.Dispatch, &fresh.Dispatch)
 	freshLocks := map[string]*trace.LockWaitSnapshot{}
 	for i := range fresh.LockWait {
@@ -418,8 +463,8 @@ func Fingerprint(r *JSONReport, w io.Writer) error {
 		cp.Sanitize = &san
 	}
 	cp.Parallel = nil // wall-clock by definition
-	// ParScavenge stays: its columns are virtual ticks and counters,
-	// deterministic by construction.
+	// ParScavenge and ConcMark stay: their columns are virtual ticks
+	// and counters, deterministic by construction.
 	if r.JIT != nil {
 		jr := *r.JIT
 		jr.Rows = make([]JITRow, len(r.JIT.Rows))

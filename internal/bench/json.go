@@ -71,6 +71,12 @@ type JSONReport struct {
 	// and the fingerprint; the host nanoseconds and speedups are zeroed
 	// in the fingerprint like every other host time.
 	JIT *JITReport `json:"jit,omitempty"`
+	// ConcMark is the concurrent-marking ablation (msbench -concmark):
+	// present only when requested. Every column is virtual-time
+	// deterministic, so the rows ride in the gate and the fingerprint;
+	// the gate additionally holds the fresh run to the pause-bound
+	// property (concurrent max pause strictly below the serial one).
+	ConcMark *ConcMarkReport `json:"concmark,omitempty"`
 	// Serve is the multi-tenant image-server benchmark (cmd/msserve):
 	// one open-loop schedule at 1/2/4/8 executors plus the parallel
 	// equivalence row. Virtual columns ride the gate and fingerprint.
@@ -79,8 +85,10 @@ type JSONReport struct {
 
 // RunJSONReport measures the Table 2 matrix (virtual ms plus host wall
 // time per benchmark, counters per state) and the inline-cache
-// ablation. includeJIT adds the msjit ablation (msbench -jit).
-func RunJSONReport(includeJIT bool) (*JSONReport, error) {
+// ablation. includeJIT adds the msjit ablation (msbench -jit);
+// includeConcMark adds the concurrent-marking ablation (msbench
+// -concmark).
+func RunJSONReport(includeJIT, includeConcMark bool) (*JSONReport, error) {
 	r := &JSONReport{
 		Schema:        fmt.Sprintf("msbench/%d", trace.MetricsSchemaVersion),
 		SchemaVersion: trace.MetricsSchemaVersion,
@@ -143,6 +151,14 @@ func RunJSONReport(includeJIT bool) (*JSONReport, error) {
 			return nil, err
 		}
 		r.JIT = jr
+	}
+
+	if includeConcMark {
+		cr, err := RunConcMarkAblation()
+		if err != nil {
+			return nil, err
+		}
+		r.ConcMark = cr
 	}
 
 	ic, err := RunInlineCacheAblation()

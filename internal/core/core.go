@@ -91,6 +91,14 @@ type Config struct {
 	// every golden number is bit-identical.
 	ParScavenge bool
 
+	// ConcMark enables the concurrent old-space marker: full
+	// collections become snapshot-at-the-beginning marking cycles with
+	// two short stop-the-world windows, mark slices interleaved with
+	// mutator quanta, and a lazy free-list sweep in place of
+	// compaction. Off by default; with it off the serial mark-compact
+	// runs and every golden number is bit-identical.
+	ConcMark bool
+
 	// JIT enables the msjit template tier: hot methods are compiled
 	// into arrays of pre-specialized closures under the inline caches.
 	// Off by default; compiled code charges the same virtual costs as
@@ -225,6 +233,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	hcfg.Parallel = cfg.Parallel
 	hcfg.ParScavenge = cfg.ParScavenge
+	hcfg.ConcMark = cfg.ConcMark
 	vcfg := interp.Config{
 		MSMode:           cfg.Mode == ModeMS,
 		MethodCache:      cfg.MethodCache,
@@ -418,6 +427,10 @@ func (s *System) Metrics() trace.Metrics {
 		FullGCTicks:       int64(hs.FullGCTime),
 		FullGCMaxPause:    int64(hs.FullGCMaxPause),
 		ReclaimedOldWords: hs.ReclaimedOldWords,
+		ConcMarkCycles:    hs.ConcMarkCycles,
+		ConcMarkSlices:    hs.ConcMarkSlices,
+		ConcMarkMarked:    hs.ConcMarkMarked,
+		ConcMarkShaded:    hs.ConcMarkShaded,
 	}
 	mt.Interp = trace.InterpMetrics{
 		Bytecodes:        is.Bytecodes,

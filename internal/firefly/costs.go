@@ -47,6 +47,17 @@ type Costs struct {
 	ScavengeChunk Time // carving a copy-buffer chunk from a shared space
 	ScavengeTerm  Time // the termination-detection barrier before the world resumes
 
+	// Concurrent old-space marking (heap Config.ConcMark): the cycle
+	// pays two short stop-the-world windows (snapshot and finalize)
+	// plus per-object/per-word scan work spread over bounded slices
+	// that interleave with mutator quanta; the sweep runs after the
+	// world resumes.
+	ConcMarkBegin     Time // snapshot window base: root scan + young-space shading
+	ConcMarkPerObject Time // scanning one grey old object to black
+	ConcMarkPerWord   Time // per word of a scanned old object (and of the begin-window young walk)
+	ConcMarkFinal     Time // finalize window base: termination + remembered-set prune
+	ConcMarkSweepObj  Time // per old object walked by the post-cycle sweep
+
 	// Devices.
 	DisplayOp Time // posting one command to the display output queue
 	InputOp   Time // transferring one input event from the device
@@ -93,6 +104,12 @@ func DefaultCosts() Costs {
 		ScavengeSteal: 8,
 		ScavengeChunk: 12,
 		ScavengeTerm:  60,
+
+		ConcMarkBegin:     300,
+		ConcMarkPerObject: 3,
+		ConcMarkPerWord:   1,
+		ConcMarkFinal:     200,
+		ConcMarkSweepObj:  1,
 
 		DisplayOp: 40,
 		InputOp:   15,

@@ -101,6 +101,11 @@ func (p *Proc) parYield() {
 	if m.parFlag.Load() {
 		m.parSlow(p)
 	}
+	if m.concMarkOn.Load() {
+		if f := m.concAssist; f != nil {
+			f(p)
+		}
+	}
 	if r := m.rec; r != nil {
 		r.Emit(trace.KQuantumStart, p.id, int64(p.clock), 0, 0, "")
 	}

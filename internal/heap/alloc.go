@@ -42,6 +42,11 @@ func (h *Heap) Allocate(p *firefly.Proc, class object.OOP, bodyWords int, f obje
 	hp.release(ch)
 
 	hd := object.MakeHeader(total, f, slack)
+	if h.allocBlack(addr) {
+		// Old-space allocation while the concurrent marker is active:
+		// born black so the sweep never reclaims it (concmark.go).
+		hd = hd.SetMarked(true)
+	}
 	h.mem[addr] = uint64(hd)
 	h.mem[addr+1] = uint64(class)
 	fill := uint64(0)
@@ -90,12 +95,19 @@ func (h *Heap) AllocateNoGC(class object.OOP, bodyWords int, f object.Format) ob
 		words, slack = object.BodyWordsForFields(bodyWords)
 	}
 	total := words + object.HeaderWords
-	if h.old.free() < total {
-		panic(OOMError{NeedWords: total})
+	addr, ok := h.carveOldFree(total)
+	if !ok {
+		if h.old.free() < total {
+			panic(OOMError{NeedWords: total})
+		}
+		addr = h.old.next
+		h.old.next += uint64(total)
 	}
-	addr := h.old.next
-	h.old.next += uint64(total)
-	h.mem[addr] = uint64(object.MakeHeader(total, f, slack))
+	hd := object.MakeHeader(total, f, slack)
+	if h.allocBlack(addr) {
+		hd = hd.SetMarked(true)
+	}
+	h.mem[addr] = uint64(hd)
 	h.mem[addr+1] = uint64(class)
 	fill := uint64(0)
 	if f == object.FmtPointers {
@@ -193,10 +205,16 @@ func (h *Heap) reserveTLAB(p *firefly.Proc, total int) uint64 {
 	}
 }
 
-// reserveOld allocates directly in old space (large objects).
+// reserveOld allocates directly in old space (large objects). Under
+// ConcMark the sweep's free list is consulted first-fit before the
+// bump pointer, so reclaimed old space is reused without compaction.
 func (h *Heap) reserveOld(p *firefly.Proc, total int) uint64 {
 	h.allocLock.Acquire(p)
 	h.sanAccess(p, "old-space")
+	if addr, ok := h.carveOldFree(total); ok {
+		h.allocLock.Release(p)
+		return addr
+	}
 	if h.old.free() < total {
 		h.allocLock.Release(p)
 		panic(OOMError{NeedWords: total})

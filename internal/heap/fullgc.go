@@ -15,6 +15,12 @@ import (
 // forwarding table held outside the heap. Everything below old space
 // (the immortal nil/true/false area) never moves.
 func (h *Heap) FullCollect(p *firefly.Proc) {
+	if h.cfg.ConcMark {
+		// Concurrent marking replaces the stop-the-world mark-compact:
+		// same synchronous contract, bounded pauses (concmark.go).
+		h.fullCollectConc(p)
+		return
+	}
 	if h.par {
 		if !h.m.StopTheWorld(p) {
 			// Another processor collected while we waited; whatever

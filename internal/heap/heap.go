@@ -84,6 +84,16 @@ type Config struct {
 	// parallel host mode the deques and the forwarding CAS are real.
 	// Off by default: the paper serializes GC (Table 3).
 	ParScavenge bool
+	// ConcMark enables the concurrent old-space marker: FullCollect
+	// becomes a snapshot-at-the-beginning marking cycle whose tracing
+	// work runs in bounded slices interleaved with mutator quanta (or
+	// by cooperative assist in parallel host mode), bracketed by two
+	// short stop-the-world windows (snapshot and finalize), followed
+	// by a lazy sweep that turns dead old objects into reusable
+	// free-list space instead of compacting. A Dijkstra-style deletion
+	// barrier in the pointer-store funnels keeps the snapshot sound.
+	// Off by default: the paper stops the world for every collection.
+	ConcMark bool
 }
 
 // DefaultConfig returns a config mirroring the paper's memory setup,
@@ -134,8 +144,12 @@ type Stats struct {
 	EdenWordsInUse    uint64
 	FullCollections   uint64
 	FullGCTime        firefly.Time
-	FullGCMaxPause    firefly.Time // longest single full collection
+	FullGCMaxPause    firefly.Time // longest single full collection (under ConcMark: longest STW window)
 	ReclaimedOldWords uint64
+	ConcMarkCycles    uint64 // completed concurrent marking cycles
+	ConcMarkSlices    uint64 // bounded mark slices drained outside the pauses
+	ConcMarkMarked    uint64 // old objects blackened by the concurrent marker
+	ConcMarkShaded    uint64 // old objects shaded grey by the deletion barrier
 }
 
 // Heap is the shared object memory.
@@ -170,6 +184,17 @@ type Heap struct {
 	inGC    bool
 	to      *space
 	oldScan uint64
+
+	// cm is the concurrent old-space marker (nil unless cfg.ConcMark);
+	// the pointer-store funnels consult it for the deletion barrier.
+	// oldFree is the sweep-produced free list of old-space spans that
+	// reserveOld and AllocateNoGC consult before bumping. skipBarrier
+	// is a test-only fault-injection knob: when set, the deletion
+	// barrier reports to the sanitizer but skips the shade, so the
+	// concmark rule can prove it catches a missing barrier.
+	cm          *concMark
+	oldFree     []freeSpan
+	skipBarrier bool
 
 	// gcMu serializes copy-buffer chunk carving from the shared spaces
 	// during a parallel host-mode scavenge. Host machinery only: the
@@ -287,6 +312,10 @@ func New(m *firefly.Machine, cfg Config) *Heap {
 	h.handlePools = make([]*handlePool, m.NumProcs())
 	for i := range h.handlePools {
 		h.handlePools[i] = &handlePool{}
+	}
+	if cfg.ConcMark {
+		h.cm = &concMark{h: h}
+		m.SetConcAssist(h.concAssist)
 	}
 
 	// The immortal objects live below old space at fixed addresses.
@@ -416,6 +445,9 @@ func (h *Heap) ClassOf(o object.OOP) object.OOP {
 // SetClass stores the class word of o, with a store check (a class in new
 // space referenced from an old object must be remembered).
 func (h *Heap) SetClass(p *firefly.Proc, o, class object.OOP) {
+	if h.cm != nil {
+		h.deletionBarrier(p, o.Addr()+1)
+	}
 	h.storeWord(o.Addr()+1, uint64(class))
 	h.storeCheck(p, o, class)
 }
@@ -429,6 +461,9 @@ func (h *Heap) Fetch(o object.OOP, i int) object.OOP {
 // check: recording an old object that now references new space in the
 // entry table, serialized under the entry-table lock (paper §3.1).
 func (h *Heap) Store(p *firefly.Proc, o object.OOP, i int, v object.OOP) {
+	if h.cm != nil {
+		h.deletionBarrier(p, o.Addr()+object.HeaderWords+uint64(i))
+	}
 	h.storeWord(o.Addr()+object.HeaderWords+uint64(i), uint64(v))
 	h.storeCheck(p, o, v)
 }
@@ -437,6 +472,9 @@ func (h *Heap) Store(p *firefly.Proc, o object.OOP, i int, v object.OOP) {
 // when v is provably not a new-space reference (SmallIntegers, nil) or o
 // is provably in new space.
 func (h *Heap) StoreNoCheck(o object.OOP, i int, v object.OOP) {
+	if h.cm != nil {
+		h.deletionBarrier(nil, o.Addr()+object.HeaderWords+uint64(i))
+	}
 	h.storeWord(o.Addr()+object.HeaderWords+uint64(i), uint64(v))
 }
 

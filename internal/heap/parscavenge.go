@@ -402,7 +402,12 @@ func (h *Heap) parForward(s *parScav, w *scavWorker, o object.OOP) object.OOP {
 			}
 		}
 		copy(h.mem[dst+1:dst+uint64(size)], h.mem[addr+1:addr+uint64(size)])
-		h.storeWord(dst, uint64(hd.SetAge(age).SetRemembered(false)))
+		nh := hd.SetAge(age).SetRemembered(false)
+		if tenured && h.allocBlack(dst) {
+			// Born black under an active concurrent mark (concmark.go).
+			nh = nh.SetMarked(true)
+		}
+		h.storeWord(dst, uint64(nh))
 		if san := h.san; san != nil {
 			san.OnGCPublish(w.id, h.gcAt, addr)
 		}

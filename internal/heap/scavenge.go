@@ -236,7 +236,15 @@ func (h *Heap) forward(o object.OOP) object.OOP {
 
 	copy(h.mem[dst:dst+uint64(size)], h.mem[o.Addr():o.Addr()+uint64(size)])
 	// The copy starts life unremembered and unforwarded at its new age.
-	h.mem[dst] = uint64(hd.SetAge(age).SetRemembered(false))
+	nh := hd.SetAge(age).SetRemembered(false)
+	if tenure && h.allocBlack(dst) {
+		// Tenured into old space while the concurrent marker is active:
+		// born black. Its old-space referents are already shaded — the
+		// object was young at the snapshot, so the begin window (or the
+		// deletion barrier since) captured them.
+		nh = nh.SetMarked(true)
+	}
+	h.mem[dst] = uint64(nh)
 
 	// Leave a forwarding pointer in the old copy.
 	h.mem[o.Addr()] = uint64(hd.SetForwarded())

@@ -77,6 +77,13 @@ const (
 	// of lock ownership: the winning CAS transfers the object to exactly
 	// one worker until it publishes the copy.
 	KindGCClaim
+	// KindConcMark: the concurrent-marking discipline was broken — an
+	// object was claimed grey twice in one cycle (the white→grey CAS
+	// failed to serialize the markers), a pointer store overwrote an
+	// old-space reference during active marking without the deletion
+	// barrier shading it (the snapshot-at-the-beginning invariant), or
+	// the finalize-window tri-color scan found a reachable white object.
+	KindConcMark
 )
 
 var kindNames = map[Kind]string{
@@ -88,6 +95,7 @@ var kindNames = map[Kind]string{
 	KindForeignAccess:    "foreign-access",
 	KindWriteBarrier:     "write-barrier",
 	KindGCClaim:          "gc-claim",
+	KindConcMark:         "conc-mark",
 }
 
 func (k Kind) String() string {
@@ -151,6 +159,13 @@ type Checker struct {
 	// OnGCClaim and ResetGCClaims (scavenge end); from-space addresses
 	// are recycled by the next scavenge, so the table must be cleared.
 	gcClaims map[uint64]int
+
+	// markClaims maps an old-space object address to the processor that
+	// won its white→grey claim in the current concurrent-mark cycle.
+	// Populated between OnMarkGrey and ResetMarkClaims (cycle end); old
+	// addresses are reusable after the sweep, so the table must be
+	// cleared.
+	markClaims map[uint64]int
 
 	edges map[orderEdge]orderWitness
 
@@ -320,6 +335,59 @@ func (c *Checker) ResetGCClaims() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gcClaims = nil
+}
+
+// OnMarkGrey records that proc won the white→grey claim on the
+// old-space object at addr during a concurrent-mark cycle. Two claims
+// on the same address in one cycle mean the claiming CAS failed to
+// serialize the markers.
+func (c *Checker) OnMarkGrey(proc int, at int64, addr uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accessChecks++
+	if c.markClaims == nil {
+		c.markClaims = map[uint64]int{}
+	}
+	if prev, dup := c.markClaims[addr]; dup {
+		c.report(Violation{Kind: KindConcMark, Proc: proc, At: at, Structure: "mark-state",
+			Detail: fmt.Sprintf("object %#x claimed grey twice (first by processor %d)", addr, prev)})
+		return
+	}
+	c.markClaims[addr] = proc
+}
+
+// OnDeletionBarrier validates one snapshot-at-the-beginning deletion
+// barrier firing: a pointer store during active marking overwrote an
+// old-space reference, and by the time the store completed the
+// overwritten referent must carry the mark bit (the barrier shades it
+// before the old edge is lost). shaded is the referent's mark state as
+// re-read after the barrier ran.
+func (c *Checker) OnDeletionBarrier(proc int, at int64, addr uint64, shaded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accessChecks++
+	if !shaded {
+		c.report(Violation{Kind: KindConcMark, Proc: proc, At: at, Structure: "mark-state",
+			Detail: fmt.Sprintf("deletion barrier skipped: overwritten old-space referent %#x is unshaded during active marking", addr)})
+	}
+}
+
+// ReportConcMark records one concurrent-marking finding made by the
+// heap's own scans (the tri-color verifier lives in internal/heap,
+// which owns the memory).
+func (c *Checker) ReportConcMark(proc int, at int64, detail string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report(Violation{Kind: KindConcMark, Proc: proc, At: at,
+		Structure: "mark-state", Detail: detail})
+}
+
+// ResetMarkClaims clears the grey-claim table at the end of a
+// concurrent-mark cycle.
+func (c *Checker) ResetMarkClaims() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markClaims = nil
 }
 
 // ReportWriteBarrier records one write-barrier verifier finding (the

@@ -233,6 +233,8 @@ type LatencyHists struct {
 	ScavTerm       Histogram // pause share: termination detection
 	FullGCPause    Histogram // full STW pause per full collection
 	Dispatch       Histogram // scheduler dispatch latency per quantum
+	ConcMarkPause  Histogram // STW window (snapshot or finalize) per concurrent-mark cycle
+	ConcMarkSlice  Histogram // ticks per bounded concurrent mark slice
 
 	mu        sync.Mutex
 	lockNames []string
@@ -292,6 +294,8 @@ type LatencyMetrics struct {
 	ScavTerm       HistSnapshot       `json:"scav_term"`
 	FullGCPause    HistSnapshot       `json:"full_gc_pause"`
 	Dispatch       HistSnapshot       `json:"dispatch"`
+	ConcMarkPause  HistSnapshot       `json:"conc_mark_pause"`
+	ConcMarkSlice  HistSnapshot       `json:"conc_mark_slice"`
 	LockWait       []LockWaitSnapshot `json:"lock_wait,omitempty"`
 	CriticalPaths  []GCCriticalPath   `json:"critical_paths,omitempty"`
 }
@@ -307,6 +311,8 @@ func (l *LatencyHists) Snapshot() *LatencyMetrics {
 		ScavTerm:       l.ScavTerm.Snapshot(),
 		FullGCPause:    l.FullGCPause.Snapshot(),
 		Dispatch:       l.Dispatch.Snapshot(),
+		ConcMarkPause:  l.ConcMarkPause.Snapshot(),
+		ConcMarkSlice:  l.ConcMarkSlice.Snapshot(),
 		CriticalPaths:  l.CriticalPaths(),
 	}
 	l.mu.Lock()
@@ -341,6 +347,8 @@ func (l *LatencyHists) Report() string {
 	b.WriteString(histLine("  copy", m.ScavCopy))
 	b.WriteString(histLine("  termination", m.ScavTerm))
 	b.WriteString(histLine("fullgc.pause", m.FullGCPause))
+	b.WriteString(histLine("concmark.pause", m.ConcMarkPause))
+	b.WriteString(histLine("  slice", m.ConcMarkSlice))
 	b.WriteString(histLine("dispatch", m.Dispatch))
 
 	// Lock waits, busiest (by total wait) first.

@@ -74,6 +74,10 @@ type HeapMetrics struct {
 	FullGCTicks       int64  `json:"full_gc_ticks"`
 	FullGCMaxPause    int64  `json:"full_gc_max_pause_ticks"`
 	ReclaimedOldWords uint64 `json:"reclaimed_old_words"`
+	ConcMarkCycles    uint64 `json:"conc_mark_cycles"`
+	ConcMarkSlices    uint64 `json:"conc_mark_slices"`
+	ConcMarkMarked    uint64 `json:"conc_mark_marked_objects"`
+	ConcMarkShaded    uint64 `json:"conc_mark_barrier_shades"`
 }
 
 // InterpMetrics snapshots the interpreter counters with hit rates

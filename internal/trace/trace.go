@@ -81,6 +81,13 @@ const (
 	KServeDone   // response produced; Arg1 = tenant, Arg2 = request latency ticks
 	KServeReject // request shed at admission; Arg1 = tenant, Arg2 = 1 tenant-share / 0 queue-full
 
+	// Concurrent old-space marking events (emitted by internal/heap when
+	// Config.ConcMark is on). Proc is the marking processor.
+	KConcMarkBegin // snapshot window done; Arg1 = objects shaded from roots/young
+	KConcMarkSlice // one bounded mark slice drained; Arg1 = objects scanned, Arg2 = slice ticks
+	KConcMarkFinal // finalize window done; Arg1 = residual objects drained, Arg2 = pause ticks
+	KConcMarkSweep // lazy sweep done; Arg1 = objects reclaimed, Arg2 = words reclaimed
+
 	numKinds
 )
 
@@ -96,6 +103,7 @@ var kindNames = [numKinds]string{
 	"jit-compile", "jit-deopt",
 	"heap-occupancy", "gc-pause",
 	"serve-start", "serve-done", "serve-reject",
+	"concmark-begin", "concmark-slice", "concmark-final", "concmark-sweep",
 }
 
 func (k Kind) String() string {
